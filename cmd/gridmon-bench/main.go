@@ -1,0 +1,52 @@
+// Command gridmon-bench regenerates the paper's evaluation: each
+// experiment set's four figure panels (throughput, response time, load1,
+// CPU load), printed as text tables and optionally written as CSV.
+//
+// Usage:
+//
+//	gridmon-bench [-quick] [-csv dir] [exp1|exp2|exp3|exp4 ...]
+//
+// With no experiment arguments every set runs. -quick shortens the
+// measurement window for smoke runs (the paper's full 10-minute windows
+// otherwise apply).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	gridmon "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shortened measurement windows")
+	csvDir := flag.String("csv", "", "also write per-experiment CSV files to this directory")
+	flag.Parse()
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = gridmon.ExperimentNames()
+	}
+	for _, name := range names {
+		series, err := gridmon.RunExperiment(name, os.Stdout, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(gridmon.ExperimentCSV(series)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", path)
+		}
+		fmt.Println()
+	}
+}

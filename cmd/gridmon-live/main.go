@@ -1,0 +1,73 @@
+// Command gridmon-live runs all three monitoring services as one real TCP
+// server: MDS queries, R-GMA SQL, and Hawkeye constraint scans, each
+// dispatched by operation name over the framed-JSON transport. Pair it
+// with gridmon-query.
+//
+// Usage:
+//
+//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7]
+//
+// Operations served (see internal/liveops):
+//
+//	mds.query      params: filter (RFC 1960), attrs (comma-separated)
+//	mds.hosts      list registered hosts
+//	rgma.query     params: sql (SELECT over table "siteinfo")
+//	rgma.tables    list advertised tables
+//	hawkeye.query  params: constraint (ClassAd expression)
+//	hawkeye.pool   list pool members
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/liveops"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
+	hostList := flag.String("hosts", "lucky3,lucky4,lucky5,lucky6,lucky7", "monitored host names")
+	producers := flag.Int("producers", 3, "R-GMA producers per host")
+	flag.Parse()
+	hosts := strings.Split(*hostList, ",")
+
+	start := time.Now()
+	now := func() float64 { return time.Since(start).Seconds() }
+	dep, agents, err := liveops.BuildDefault(hosts, *producers, now)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Keep the Hawkeye pool advertising in real time.
+	go func() {
+		for {
+			time.Sleep(5 * time.Second)
+			for _, a := range agents {
+				ad, _ := a.StartdAd(now())
+				if _, err := dep.Manager.Update(now(), ad); err != nil {
+					log.Printf("advertise: %v", err)
+				}
+			}
+		}
+	}()
+
+	srv := transport.NewServer()
+	liveops.Register(srv, dep)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gridmon-live serving MDS + R-GMA + Hawkeye on %s\n", bound)
+	fmt.Printf("ops: %s\n", strings.Join(srv.Ops(), " "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

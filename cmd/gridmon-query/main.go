@@ -1,0 +1,58 @@
+// Command gridmon-query is the client for gridmon-live: it issues one
+// operation against a running server and prints the payload.
+//
+// Usage:
+//
+//	gridmon-query [-addr 127.0.0.1:7946] <op> [key=value ...]
+//
+// Examples:
+//
+//	gridmon-query mds.hosts
+//	gridmon-query mds.query 'filter=(objectclass=MdsCpu)' attrs=Mds-Cpu-Free-1minX100
+//	gridmon-query rgma.query "sql=SELECT host, value FROM siteinfo WHERE value >= 50"
+//	gridmon-query hawkeye.query 'constraint=TARGET.CpuLoad > 50'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7946", "gridmon-live address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: gridmon-query [-addr host:port] <op> [key=value ...]")
+		os.Exit(2)
+	}
+	op := args[0]
+	params := make(map[string]string)
+	for _, kv := range args[1:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			fmt.Fprintf(os.Stderr, "bad parameter %q (want key=value)\n", kv)
+			os.Exit(2)
+		}
+		params[kv[:eq]] = kv[eq+1:]
+	}
+	client, err := transport.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	payload, err := client.Call(op, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(payload)
+	if !strings.HasSuffix(payload, "\n") {
+		fmt.Println()
+	}
+}

@@ -1,0 +1,86 @@
+// Command resourceselection solves the problem MDS was designed for (the
+// paper, Section 2.1): "how does a user identify the host or set of hosts
+// on which to run an application?" It stands up a GIIS over a pool of
+// GRIS servers, then selects execution hosts by querying the aggregated
+// directory with LDAP filters — first coarse discovery, then a refined
+// query against the chosen host's GRIS, showing the hierarchy the paper
+// describes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+
+	gridmon "repro"
+)
+
+func main() {
+	hosts := []string{"lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"}
+	giis, grises, err := gridmon.NewMDS(hosts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: discovery at the directory — which hosts exist?
+	fmt.Println("Step 1: hosts registered in the GIIS")
+	for _, h := range giis.Hosts(1) {
+		fmt.Printf("  %s\n", h)
+	}
+
+	// Step 2: coarse selection — Linux hosts with at least 50% free CPU,
+	// straight from the aggregate directory (cached data, one query).
+	fmt.Println("\nStep 2: candidates with >= 50% free CPU (GIIS query)")
+	filter, err := gridmon.ParseLDAPFilter("(&(objectclass=MdsCpu)(Mds-Cpu-Free-1minX100>=50))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries, stats, err := giis.Query(1, filter, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type candidate struct {
+		host string
+		free float64
+	}
+	var cands []candidate
+	for _, e := range entries {
+		free, _ := strconv.ParseFloat(e.First("Mds-Cpu-Free-1minX100"), 64)
+		// The host RDN is two levels up from the device entry.
+		host := e.DN[1].Value
+		cands = append(cands, candidate{host: host, free: free})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].free > cands[j].free })
+	for _, c := range cands {
+		fmt.Printf("  %-8s free-cpu=%5.1f%%\n", c.host, c.free)
+	}
+	fmt.Printf("  (directory walked %d entries for this answer)\n", stats.EntriesVisited)
+
+	if len(cands) == 0 {
+		log.Fatal("no candidate hosts")
+	}
+	best := cands[0].host
+
+	// Step 3: refinement at the resource — query the selected host's GRIS
+	// directly for its full picture (memory, filesystems, queue depth).
+	fmt.Printf("\nStep 3: full resource detail from %s's GRIS\n", best)
+	detail, _ := grises[best].Query(1, nil, nil)
+	for _, e := range detail {
+		if !e.Has("objectclass") {
+			continue
+		}
+		switch e.First("objectclass") {
+		case "MdsMemoryRam":
+			fmt.Printf("  memory:     %s MB free of %s MB\n",
+				e.First("Mds-Memory-Ram-freeMB"), e.First("Mds-Memory-Ram-Total-sizeMB"))
+		case "MdsFilesystem":
+			fmt.Printf("  filesystem: %s free %s MB\n",
+				e.First("Mds-Fs-mount"), e.First("Mds-Fs-freeMB"))
+		case "MdsGramJobQueue":
+			fmt.Printf("  job queue:  %s of %s slots in use\n",
+				e.First("Mds-Gram-Job-Queue-jobcount"), e.First("Mds-Gram-Job-Queue-maxcount"))
+		}
+	}
+	fmt.Printf("\nSelected execution host: %s\n", best)
+}

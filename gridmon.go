@@ -1,0 +1,218 @@
+// Package gridmon is a Go reproduction of "A Performance Study of
+// Monitoring and Information Services for Distributed Systems" (Zhang,
+// Freschl, Schopf — HPDC 2003). It implements the three systems the paper
+// measures — the Globus MDS, the European DataGrid's R-GMA, and Condor's
+// Hawkeye — on from-scratch substrates (an LDAP directory engine, a
+// relational/SQL engine, and the ClassAd language), plus a deterministic
+// discrete-event testbed that regenerates every figure of the paper's
+// evaluation.
+//
+// The package has two modes:
+//
+//   - Live mode: construct services and query them in-process (or over
+//     TCP via internal/transport); see the examples/ directory.
+//   - Simulated mode: run the paper's experiment sets on the modeled
+//     Lucky/UC testbed; see RunExperiment and cmd/gridmon-bench.
+package gridmon
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/classad"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hawkeye"
+	"repro/internal/ldap"
+	"repro/internal/mds"
+	"repro/internal/relational"
+	"repro/internal/rgma"
+)
+
+// Re-exported core types: the paper's component mapping (Table 1) and the
+// concrete components of the three systems.
+type (
+	// System and Role identify the services and Table 1 roles.
+	System = core.System
+	Role   = core.Role
+
+	// MDS components.
+	GRIS     = mds.GRIS
+	GIIS     = mds.GIIS
+	Provider = mds.Provider
+
+	// R-GMA components.
+	Registry        = rgma.Registry
+	Producer        = rgma.Producer
+	ProducerServlet = rgma.ProducerServlet
+	ConsumerServlet = rgma.ConsumerServlet
+
+	// Hawkeye components.
+	Agent   = hawkeye.Agent
+	Manager = hawkeye.Manager
+	Module  = hawkeye.Module
+	Trigger = hawkeye.Trigger
+
+	// ClassAd and LDAP building blocks.
+	ClassAd    = classad.Ad
+	LDAPEntry  = ldap.Entry
+	LDAPFilter = ldap.Filter
+)
+
+// The systems and roles of the paper's Table 1.
+const (
+	MDS     = core.SystemMDS
+	RGMA    = core.SystemRGMA
+	Hawkeye = core.SystemHawkeye
+)
+
+// ComponentMapping is the paper's Table 1.
+var ComponentMapping = core.ComponentMapping
+
+// NewMDS builds an MDS deployment: a GIIS aggregating one GRIS (with the
+// standard ten information providers) per host. Caches are warm, matching
+// a steady-state deployment.
+func NewMDS(hosts ...string) (*GIIS, map[string]*GRIS, error) {
+	giis := mds.NewGIIS("giis", 1e12, 1e12)
+	grises := make(map[string]*GRIS, len(hosts))
+	for i, h := range hosts {
+		g := mds.NewGRIS(h, 1e12, mds.DefaultProviders())
+		g.Warm(0)
+		if _, err := giis.Register(fmt.Sprintf("gris-%d", i), g, 0); err != nil {
+			return nil, nil, err
+		}
+		grises[h] = g
+	}
+	return giis, grises, nil
+}
+
+// NewRGMA builds an R-GMA deployment: one ProducerServlet per host, each
+// hosting nProducers monitoring producers of the "siteinfo" table, all
+// registered with a Registry, plus a ConsumerServlet mediating queries.
+func NewRGMA(hosts []string, nProducers int) (*Registry, *ConsumerServlet, map[string]*ProducerServlet, error) {
+	reg := rgma.NewRegistry("registry")
+	servlets := make(map[string]*ProducerServlet, len(hosts))
+	for _, h := range hosts {
+		addr := h + ":8080"
+		ps := rgma.NewProducerServlet(addr)
+		for i := 0; i < nProducers; i++ {
+			ps.Host(rgma.NewMonitoringProducer(fmt.Sprintf("%s-p%d", h, i), "siteinfo",
+				fmt.Sprintf("%s-sensor%02d", h, i), 5))
+		}
+		servlets[addr] = ps
+		for _, ad := range ps.Advertisements() {
+			if err := reg.RegisterProducer(ad, 0, 1e12); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	cserv := rgma.NewConsumerServlet("consumer:8080", reg, func(addr string) (*ProducerServlet, error) {
+		ps, ok := servlets[addr]
+		if !ok {
+			return nil, fmt.Errorf("gridmon: unknown producer servlet %q", addr)
+		}
+		return ps, nil
+	})
+	return reg, cserv, servlets, nil
+}
+
+// NewHawkeyePool builds a Hawkeye deployment: a Manager plus one Agent
+// (with the standard eleven modules) per host, each primed with an
+// initial Startd ClassAd.
+func NewHawkeyePool(managerHost string, agentHosts ...string) (*Manager, map[string]*Agent, error) {
+	mgr := hawkeye.NewManager(managerHost, 0)
+	agents := make(map[string]*Agent, len(agentHosts))
+	for _, h := range agentHosts {
+		a := hawkeye.NewAgent(h, 30)
+		if err := a.AddModules(hawkeye.DefaultModules()); err != nil {
+			return nil, nil, err
+		}
+		ad, _ := a.StartdAd(0)
+		if _, err := mgr.Update(0, ad); err != nil {
+			return nil, nil, err
+		}
+		agents[h] = a
+	}
+	return mgr, agents, nil
+}
+
+// ParseClassAdExpr parses a ClassAd expression (for constraints and
+// triggers).
+func ParseClassAdExpr(src string) (classad.Expr, error) { return classad.ParseExpr(src) }
+
+// ParseLDAPFilter parses an RFC 1960 search filter.
+func ParseLDAPFilter(src string) (LDAPFilter, error) { return ldap.ParseFilter(src) }
+
+// SQL executes one statement against a fresh throwaway database — a
+// convenience for exploring the relational substrate.
+func SQL(statements ...string) (*relational.Result, error) {
+	db := relational.NewDB()
+	var last *relational.Result
+	for _, s := range statements {
+		res, err := db.Exec(s)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// ExperimentNames lists the runnable experiment sets: the paper's four
+// plus the exp5 extension (the multi-layer aggregation architecture the
+// paper's Section 3.6 proposes examining).
+func ExperimentNames() []string {
+	return []string{"exp1", "exp2", "exp3", "exp4", "exp5"}
+}
+
+// RunExperiment regenerates one of the paper's experiment sets, writing
+// the four figure panels as text tables to w and returning the series.
+// Valid names are exp1 (Figures 5–8), exp2 (9–12), exp3 (13–16) and exp4
+// (17–20). quick shortens the measurement window for smoke runs.
+func RunExperiment(name string, w io.Writer, quick bool) ([]experiments.Series, error) {
+	cal := experiments.DefaultCalibration()
+	par := experiments.PaperParams()
+	userXs := experiments.UserCounts
+	collXs := experiments.CollectorCounts
+	xsAll := []int{10, 50, 100, 150, 200}
+	xsPart := []int{10, 50, 100, 200, 350, 500}
+	xsMgr := []int{10, 100, 200, 400, 600, 800, 1000}
+	xsHier := []int{50, 100, 200, 300}
+	if quick {
+		par = experiments.QuickParams()
+		userXs = []int{1, 50, 200, 600}
+		collXs = []int{10, 50, 90}
+		xsAll = []int{10, 100, 200}
+		xsPart = []int{10, 200, 500}
+		xsMgr = []int{10, 200, 1000}
+		xsHier = []int{50, 200}
+	}
+	var series []experiments.Series
+	var title, xLabel string
+	switch name {
+	case "exp1":
+		title, xLabel = "Experiment Set 1: Information Server vs Users (Figures 5-8)", "users"
+		series = experiments.Exp1InfoServerUsers(cal, userXs, par)
+	case "exp2":
+		title, xLabel = "Experiment Set 2: Directory Server vs Users (Figures 9-12)", "users"
+		series = experiments.Exp2DirectoryUsers(cal, userXs, par)
+	case "exp3":
+		title, xLabel = "Experiment Set 3: Information Server vs Collectors (Figures 13-16)", "collectors"
+		series = experiments.Exp3InfoServerCollectors(cal, collXs, par)
+	case "exp4":
+		title, xLabel = "Experiment Set 4: Aggregate Server vs Information Servers (Figures 17-20)", "servers"
+		series = experiments.Exp4AggregateServers(cal, xsAll, xsPart, xsMgr, par)
+	case "exp5":
+		title, xLabel = "Experiment Set 5 (extension): Flat vs Two-Level GIIS Hierarchy", "servers"
+		series = experiments.Exp5Hierarchy(cal, xsHier, par)
+	default:
+		return nil, fmt.Errorf("gridmon: unknown experiment %q (want exp1..exp5)", name)
+	}
+	if w != nil {
+		fmt.Fprint(w, experiments.FormatSeries(title, xLabel, series))
+	}
+	return series, nil
+}
+
+// ExperimentCSV renders experiment series as CSV.
+func ExperimentCSV(series []experiments.Series) string { return experiments.CSV(series) }

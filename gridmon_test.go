@@ -1,0 +1,153 @@
+package gridmon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func TestNewMDSQueryable(t *testing.T) {
+	giis, grises, err := NewMDS("lucky3", "lucky7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grises) != 2 {
+		t.Fatalf("grises = %d", len(grises))
+	}
+	filter, err := ParseLDAPFilter("(objectclass=MdsCpu)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := giis.Query(1, filter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("cpu entries = %d, want 2", len(entries))
+	}
+}
+
+func TestNewRGMAQueryable(t *testing.T) {
+	_, cserv, servlets, err := NewRGMA([]string{"a", "b"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servlets) != 2 {
+		t.Fatalf("servlets = %d", len(servlets))
+	}
+	res, _, err := cserv.Query(1, "SELECT host, value FROM siteinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 hosts x 3 producers x 5 metrics.
+	if len(res.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(res.Rows))
+	}
+}
+
+func TestNewHawkeyePoolQueryable(t *testing.T) {
+	mgr, agents, err := NewHawkeyePool("m", "a1", "a2", "a3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agents) != 3 {
+		t.Fatalf("agents = %d", len(agents))
+	}
+	constraint, err := ParseClassAdExpr("TARGET.CpuLoad >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads, st := mgr.Query(1, constraint)
+	if len(ads) != 3 || st.AdsScanned != 3 {
+		t.Fatalf("ads = %d scanned = %d", len(ads), st.AdsScanned)
+	}
+}
+
+func TestSQLConvenience(t *testing.T) {
+	res, err := SQL(
+		"CREATE TABLE t (x INT)",
+		"INSERT INTO t VALUES (7)",
+		"SELECT x FROM t",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 7 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestComponentMappingExposed(t *testing.T) {
+	if ComponentMapping["Information Server"][MDS] != "GRIS" {
+		t.Fatal("Table 1 not exposed correctly")
+	}
+	if ComponentMapping["Directory Server"][RGMA] != "Registry" {
+		t.Fatal("Table 1 registry row wrong")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("exp9", nil, true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != 5 || names[0] != "exp1" || names[4] != "exp5" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// TestRunExperimentQuickExp3 exercises the full experiment pipeline end
+// to end on the smallest set (Experiment 3 has the fewest points).
+func TestRunExperimentQuickExp3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	var buf bytes.Buffer
+	series, err := RunExperiment("exp3", &buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d, want 4", len(series))
+	}
+	out := buf.String()
+	for _, want := range []string{"Figures 13-16", "Throughput", "MDS GRIS(cache)", "Hawkeye Agent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	csv := ExperimentCSV(series)
+	if !strings.Contains(csv, "series,x,") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestTriggerThroughPublicAPI(t *testing.T) {
+	mgr, agents, err := NewHawkeyePool("m", "h1", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	trAd := classad.NewAd()
+	trAd.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad >= 0"))
+	mgr.SubmitTrigger(0, &Trigger{
+		Name: "always",
+		Ad:   trAd,
+		Fire: func(string, *ClassAd) { fired++ },
+	})
+	if fired != 2 {
+		t.Fatalf("fired = %d on submit, want 2", fired)
+	}
+	ad, _ := agents["h1"].StartdAd(30)
+	if _, err := mgr.Update(30, ad); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired = %d after update, want 3", fired)
+	}
+}

@@ -1,0 +1,287 @@
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ad is a ClassAd: an ordered set of attribute = expression pairs.
+// Attribute names are case-insensitive; the original spelling of the first
+// Set is preserved for printing.
+type Ad struct {
+	attrs map[string]adEntry
+	order []string // lowercase keys in insertion order
+}
+
+type adEntry struct {
+	name string
+	expr Expr
+}
+
+// NewAd returns an empty ClassAd.
+func NewAd() *Ad {
+	return &Ad{attrs: make(map[string]adEntry)}
+}
+
+// Set binds an attribute to an expression, replacing any previous binding
+// (the original spelling and position of a replaced attribute survive).
+func (a *Ad) Set(name string, e Expr) {
+	key := strings.ToLower(name)
+	if old, ok := a.attrs[key]; ok {
+		a.attrs[key] = adEntry{name: old.name, expr: e}
+		return
+	}
+	a.attrs[key] = adEntry{name: name, expr: e}
+	a.order = append(a.order, key)
+}
+
+// SetValue binds an attribute to a constant value.
+func (a *Ad) SetValue(name string, v Value) { a.Set(name, Lit(v)) }
+
+// SetInt, SetReal, SetString and SetBool are conveniences for constant
+// attributes.
+func (a *Ad) SetInt(name string, i int64)    { a.SetValue(name, Int(i)) }
+func (a *Ad) SetReal(name string, r float64) { a.SetValue(name, Real(r)) }
+func (a *Ad) SetString(name, s string)       { a.SetValue(name, Str(s)) }
+func (a *Ad) SetBool(name string, b bool)    { a.SetValue(name, Bool(b)) }
+
+// SetExprString parses src as an expression and binds it to name.
+func (a *Ad) SetExprString(name, src string) error {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return err
+	}
+	a.Set(name, e)
+	return nil
+}
+
+// Lookup returns the expression bound to name (case-insensitive).
+func (a *Ad) Lookup(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e.expr, ok
+}
+
+// Delete removes an attribute, reporting whether it was present.
+func (a *Ad) Delete(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := a.attrs[key]; !ok {
+		return false
+	}
+	delete(a.attrs, key)
+	for i, k := range a.order {
+		if k == key {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len reports the number of attributes.
+func (a *Ad) Len() int { return len(a.attrs) }
+
+// Names returns attribute names (original spelling) in insertion order.
+func (a *Ad) Names() []string {
+	out := make([]string, 0, len(a.order))
+	for _, k := range a.order {
+		out = append(out, a.attrs[k].name)
+	}
+	return out
+}
+
+// Eval evaluates the named attribute against this ad alone: unqualified and
+// MY references resolve here, TARGET references are undefined.
+func (a *Ad) Eval(name string) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undefined()
+	}
+	ctx := &evalCtx{a: a, cur: a}
+	return e.eval(ctx)
+}
+
+// EvalExpr evaluates an arbitrary expression in this ad's context.
+func (a *Ad) EvalExpr(e Expr) Value {
+	ctx := &evalCtx{a: a, cur: a}
+	return e.eval(ctx)
+}
+
+// EvalExprString parses and evaluates src in this ad's context.
+func (a *Ad) EvalExprString(src string) (Value, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return Undefined(), err
+	}
+	return a.EvalExpr(e), nil
+}
+
+// Merge copies every attribute of src into a, overwriting collisions. The
+// Hawkeye Agent uses this to integrate Module ClassAds into a single
+// Startd ClassAd.
+func (a *Ad) Merge(src *Ad) {
+	for _, k := range src.order {
+		e := src.attrs[k]
+		a.Set(e.name, e.expr)
+	}
+}
+
+// Clone returns a deep-enough copy: expressions are immutable so sharing
+// them is safe.
+func (a *Ad) Clone() *Ad {
+	out := NewAd()
+	for _, k := range a.order {
+		e := a.attrs[k]
+		out.Set(e.name, e.expr)
+	}
+	return out
+}
+
+// String renders the ad in new-ClassAd record syntax: [ a = 1; b = 2 ].
+func (a *Ad) String() string {
+	parts := make([]string, 0, len(a.order))
+	for _, k := range a.order {
+		e := a.attrs[k]
+		parts = append(parts, e.name+" = "+e.expr.String())
+	}
+	return "[ " + strings.Join(parts, "; ") + " ]"
+}
+
+// Unparse renders the ad in old-ClassAd style: one "name = expr" line per
+// attribute, the on-the-wire format Condor tools exchange.
+func (a *Ad) Unparse() string {
+	var sb strings.Builder
+	for _, k := range a.order {
+		e := a.attrs[k]
+		fmt.Fprintf(&sb, "%s = %s\n", e.name, e.expr.String())
+	}
+	return sb.String()
+}
+
+// SizeBytes estimates the ad's wire size, used by the testbed's network
+// model.
+func (a *Ad) SizeBytes() int { return len(a.Unparse()) }
+
+// sameAs reports structural identity (same attributes bound to textually
+// identical expressions), ignoring insertion order and name case.
+func (a *Ad) sameAs(o *Ad) bool {
+	if a == nil || o == nil {
+		return a == o
+	}
+	if len(a.attrs) != len(o.attrs) {
+		return false
+	}
+	for k, e := range a.attrs {
+		oe, ok := o.attrs[k]
+		if !ok || e.expr.String() != oe.expr.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedNames returns attribute names (original spelling) sorted
+// case-insensitively — handy for stable test output.
+func (a *Ad) SortedNames() []string {
+	out := a.Names()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}
+
+// ParseAd parses a ClassAd in either syntax: a new-ClassAd record
+// "[ a = 1; b = 2 ]" or old-ClassAd attribute lines separated by newlines
+// or semicolons.
+func ParseAd(src string) (*Ad, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if p.peekSig().kind == tokLBracket {
+		e, err := p.parseAdLiteral()
+		if err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+		if p.peek().kind != tokEOF {
+			return nil, fmt.Errorf("classad: trailing input after ad at %s", p.peek())
+		}
+		ad := NewAd()
+		rec := e.(adExpr)
+		for i := range rec.names {
+			ad.Set(rec.names[i], rec.exprs[i])
+		}
+		return ad, nil
+	}
+	ad := NewAd()
+	for {
+		p.skipNewlines()
+		if p.peek().kind == tokEOF {
+			return ad, nil
+		}
+		name, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExprLine()
+		if err != nil {
+			return nil, err
+		}
+		ad.Set(name.text, e)
+	}
+}
+
+// MustParseAd is ParseAd that panics on error.
+func MustParseAd(src string) *Ad {
+	ad, err := ParseAd(src)
+	if err != nil {
+		panic(err)
+	}
+	return ad
+}
+
+// parseExprLine parses an expression that ends at an unbracketed newline,
+// semicolon, or EOF — the old-ClassAd attribute-per-line rule.
+func (p *parser) parseExprLine() (Expr, error) {
+	// Find the extent of the line: tokens up to the first newline or
+	// semicolon at bracket depth 0.
+	start := p.pos
+	depth := 0
+scan:
+	for i := start; ; i++ {
+		switch p.toks[i].kind {
+		case tokLParen, tokLBrace, tokLBracket:
+			depth++
+		case tokRParen, tokRBrace, tokRBracket:
+			depth--
+		case tokNewline, tokSemi:
+			if depth == 0 {
+				end := i
+				sub := &parser{toks: append(append([]token{}, p.toks[start:end]...), token{kind: tokEOF})}
+				e, err := sub.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if sub.peekSig().kind != tokEOF {
+					return nil, fmt.Errorf("classad: trailing input in attribute at %s", sub.peek())
+				}
+				p.pos = end + 1
+				return e, nil
+			}
+		case tokEOF:
+			break scan
+		}
+	}
+	sub := &parser{toks: p.toks[start:]}
+	e, err := sub.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.pos = start + sub.pos
+	return e, nil
+}

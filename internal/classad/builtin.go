@@ -1,0 +1,547 @@
+package classad
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// builtinFn implements a ClassAd function. It receives unevaluated argument
+// expressions so that predicates like isUndefined can observe undefined
+// results and ifThenElse can stay lazy.
+type builtinFn func(ctx *evalCtx, args []Expr) Value
+
+// builtins maps lowercase function names to implementations. The set
+// mirrors the functions Condor-era ClassAds provided that Hawkeye modules
+// and triggers use.
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"strcat":      fnStrcat,
+		"substr":      fnSubstr,
+		"size":        fnSize,
+		"length":      fnSize,
+		"toupper":     strFn(strings.ToUpper),
+		"tolower":     strFn(strings.ToLower),
+		"int":         fnInt,
+		"real":        fnReal,
+		"string":      fnString,
+		"floor":       mathFn(math.Floor),
+		"ceiling":     mathFn(math.Ceil),
+		"round":       mathFn(math.Round),
+		"abs":         fnAbs,
+		"min":         fnMin,
+		"max":         fnMax,
+		"member":      fnMember,
+		"isundefined": kindFn(UndefinedKind),
+		"iserror":     kindFn(ErrorKind),
+		"isstring":    kindFn(StringKind),
+		"isinteger":   kindFn(IntKind),
+		"isreal":      kindFn(RealKind),
+		"isboolean":   kindFn(BoolKind),
+		"islist":      kindFn(ListKind),
+		"ifthenelse":  fnIfThenElse,
+		"regexp":      fnRegexp,
+	}
+}
+
+// evalArgs evaluates every argument strictly.
+func evalArgs(ctx *evalCtx, args []Expr) []Value {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		out[i] = a.eval(ctx)
+	}
+	return out
+}
+
+// propagate returns the first error then the first undefined among vs, if
+// any — the standard strict-function convention.
+func propagate(vs []Value) (Value, bool) {
+	for _, v := range vs {
+		if v.IsError() {
+			return v, true
+		}
+	}
+	for _, v := range vs {
+		if v.IsUndefined() {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+func arity(name string, args []Expr, want int) (Value, bool) {
+	if len(args) != want {
+		return ErrorValue("%s expects %d argument(s), got %d", name, want, len(args)), false
+	}
+	return Value{}, true
+}
+
+func fnStrcat(ctx *evalCtx, args []Expr) Value {
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	var sb strings.Builder
+	for _, v := range vs {
+		switch v.Kind() {
+		case StringKind:
+			s, _ := v.StringVal()
+			sb.WriteString(s)
+		default:
+			sb.WriteString(v.String())
+		}
+	}
+	return Str(sb.String())
+}
+
+func fnSubstr(ctx *evalCtx, args []Expr) Value {
+	if len(args) != 2 && len(args) != 3 {
+		return ErrorValue("substr expects 2 or 3 arguments, got %d", len(args))
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	s, ok := vs[0].StringVal()
+	if !ok {
+		return ErrorValue("substr of %s", vs[0].Kind())
+	}
+	off, ok := vs[1].IntVal()
+	if !ok {
+		return ErrorValue("substr offset is %s", vs[1].Kind())
+	}
+	if off < 0 {
+		off += int64(len(s))
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > int64(len(s)) {
+		off = int64(len(s))
+	}
+	end := int64(len(s))
+	if len(vs) == 3 {
+		n, ok := vs[2].IntVal()
+		if !ok {
+			return ErrorValue("substr length is %s", vs[2].Kind())
+		}
+		if n < 0 {
+			end += n // negative length trims from the end, as in Condor
+		} else {
+			end = off + n
+		}
+		if end > int64(len(s)) {
+			end = int64(len(s))
+		}
+		if end < off {
+			end = off
+		}
+	}
+	return Str(s[off:end])
+}
+
+func fnSize(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("size", args, 1); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	switch vs[0].Kind() {
+	case StringKind:
+		s, _ := vs[0].StringVal()
+		return Int(int64(len(s)))
+	case ListKind:
+		l, _ := vs[0].ListVal()
+		return Int(int64(len(l)))
+	case AdKind:
+		ad, _ := vs[0].AdVal()
+		return Int(int64(ad.Len()))
+	}
+	return ErrorValue("size of %s", vs[0].Kind())
+}
+
+func strFn(f func(string) string) builtinFn {
+	return func(ctx *evalCtx, args []Expr) Value {
+		if bad, ok := arity("string function", args, 1); !ok {
+			return bad
+		}
+		vs := evalArgs(ctx, args)
+		if bad, stop := propagate(vs); stop {
+			return bad
+		}
+		s, ok := vs[0].StringVal()
+		if !ok {
+			return ErrorValue("string function applied to %s", vs[0].Kind())
+		}
+		return Str(f(s))
+	}
+}
+
+func fnInt(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("int", args, 1); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	v := vs[0]
+	if i, ok := v.IntVal(); ok {
+		return Int(i)
+	}
+	if r, ok := v.RealVal(); ok {
+		return Int(int64(r)) // truncation toward zero
+	}
+	if b, ok := v.BoolVal(); ok {
+		if b {
+			return Int(1)
+		}
+		return Int(0)
+	}
+	if s, ok := v.StringVal(); ok {
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return ErrorValue("int(%q)", s)
+		}
+		return Int(i)
+	}
+	return ErrorValue("int of %s", v.Kind())
+}
+
+func fnReal(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("real", args, 1); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	v := vs[0]
+	if n, ok := v.Number(); ok {
+		return Real(n)
+	}
+	if s, ok := v.StringVal(); ok {
+		r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return ErrorValue("real(%q)", s)
+		}
+		return Real(r)
+	}
+	return ErrorValue("real of %s", v.Kind())
+}
+
+func fnString(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("string", args, 1); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	if s, ok := vs[0].StringVal(); ok {
+		return Str(s)
+	}
+	return Str(vs[0].String())
+}
+
+func mathFn(f func(float64) float64) builtinFn {
+	return func(ctx *evalCtx, args []Expr) Value {
+		if bad, ok := arity("math function", args, 1); !ok {
+			return bad
+		}
+		vs := evalArgs(ctx, args)
+		if bad, stop := propagate(vs); stop {
+			return bad
+		}
+		if i, ok := vs[0].IntVal(); ok {
+			return Int(i)
+		}
+		n, ok := vs[0].Number()
+		if !ok {
+			return ErrorValue("math function applied to %s", vs[0].Kind())
+		}
+		return Int(int64(f(n)))
+	}
+}
+
+func fnAbs(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("abs", args, 1); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	if i, ok := vs[0].IntVal(); ok {
+		if i < 0 {
+			return Int(-i)
+		}
+		return Int(i)
+	}
+	if r, ok := vs[0].RealVal(); ok {
+		return Real(math.Abs(r))
+	}
+	return ErrorValue("abs of %s", vs[0].Kind())
+}
+
+func extremum(name string, pickGreater bool) builtinFn {
+	return func(ctx *evalCtx, args []Expr) Value {
+		if len(args) == 0 {
+			return ErrorValue("%s of no arguments", name)
+		}
+		vs := evalArgs(ctx, args)
+		if bad, stop := propagate(vs); stop {
+			return bad
+		}
+		best := vs[0]
+		bestN, ok := best.Number()
+		if !ok {
+			return ErrorValue("%s of %s", name, best.Kind())
+		}
+		allInt := best.Kind() == IntKind
+		for _, v := range vs[1:] {
+			n, ok := v.Number()
+			if !ok {
+				return ErrorValue("%s of %s", name, v.Kind())
+			}
+			allInt = allInt && v.Kind() == IntKind
+			if (pickGreater && n > bestN) || (!pickGreater && n < bestN) {
+				best, bestN = v, n
+			}
+		}
+		if allInt {
+			i, _ := best.IntVal()
+			return Int(i)
+		}
+		return Real(bestN)
+	}
+}
+
+var (
+	fnMin = extremum("min", false)
+	fnMax = extremum("max", true)
+)
+
+func fnMember(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("member", args, 2); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	list, ok := vs[1].ListVal()
+	if !ok {
+		return ErrorValue("member: second argument is %s, want list", vs[1].Kind())
+	}
+	for _, item := range list {
+		eq := evalCompare("==", vs[0], item)
+		if b, ok := eq.BoolVal(); ok && b {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+func kindFn(k Kind) builtinFn {
+	return func(ctx *evalCtx, args []Expr) Value {
+		if len(args) != 1 {
+			return ErrorValue("type predicate expects 1 argument, got %d", len(args))
+		}
+		return Bool(evalArgs(ctx, args)[0].Kind() == k)
+	}
+}
+
+// fnIfThenElse is lazy: only the selected branch is evaluated, so a guarded
+// division like ifThenElse(x != 0, 1/x, 0) never produces error.
+func fnIfThenElse(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("ifThenElse", args, 3); !ok {
+		return bad
+	}
+	c := args[0].eval(ctx)
+	if c.IsError() || c.IsUndefined() {
+		return c
+	}
+	b, ok := c.BoolVal()
+	if !ok {
+		if n, isNum := c.Number(); isNum {
+			b = n != 0
+		} else {
+			return ErrorValue("ifThenElse condition is %s", c.Kind())
+		}
+	}
+	if b {
+		return args[1].eval(ctx)
+	}
+	return args[2].eval(ctx)
+}
+
+func fnRegexp(ctx *evalCtx, args []Expr) Value {
+	if bad, ok := arity("regexp", args, 2); !ok {
+		return bad
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	pat, ok := vs[0].StringVal()
+	if !ok {
+		return ErrorValue("regexp pattern is %s", vs[0].Kind())
+	}
+	s, ok := vs[1].StringVal()
+	if !ok {
+		return ErrorValue("regexp target is %s", vs[1].Kind())
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return ErrorValue("regexp: %v", err)
+	}
+	return Bool(re.MatchString(s))
+}
+
+// --- string-list functions ---
+// Condor configurations pass lists as delimited strings; these helpers
+// mirror the stringList* functions Hawkeye modules and triggers use.
+
+func splitList(s, delims string) []string {
+	if delims == "" {
+		delims = ", "
+	}
+	f := func(r rune) bool { return strings.ContainsRune(delims, r) }
+	return strings.FieldsFunc(s, f)
+}
+
+func fnStringListMember(ctx *evalCtx, args []Expr) Value {
+	if len(args) != 2 && len(args) != 3 {
+		return ErrorValue("stringListMember expects 2 or 3 arguments, got %d", len(args))
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	item, ok := vs[0].StringVal()
+	if !ok {
+		return ErrorValue("stringListMember item is %s", vs[0].Kind())
+	}
+	list, ok := vs[1].StringVal()
+	if !ok {
+		return ErrorValue("stringListMember list is %s", vs[1].Kind())
+	}
+	delims := ""
+	if len(vs) == 3 {
+		d, ok := vs[2].StringVal()
+		if !ok {
+			return ErrorValue("stringListMember delimiters are %s", vs[2].Kind())
+		}
+		delims = d
+	}
+	for _, part := range splitList(list, delims) {
+		if strings.EqualFold(part, item) {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+func fnStringListSize(ctx *evalCtx, args []Expr) Value {
+	if len(args) != 1 && len(args) != 2 {
+		return ErrorValue("stringListSize expects 1 or 2 arguments, got %d", len(args))
+	}
+	vs := evalArgs(ctx, args)
+	if bad, stop := propagate(vs); stop {
+		return bad
+	}
+	list, ok := vs[0].StringVal()
+	if !ok {
+		return ErrorValue("stringListSize list is %s", vs[0].Kind())
+	}
+	delims := ""
+	if len(vs) == 2 {
+		d, ok := vs[1].StringVal()
+		if !ok {
+			return ErrorValue("stringListSize delimiters are %s", vs[1].Kind())
+		}
+		delims = d
+	}
+	return Int(int64(len(splitList(list, delims))))
+}
+
+// stringListAgg builds sum/avg/min/max over numeric string lists.
+func stringListAgg(name string, agg func([]float64) float64) builtinFn {
+	return func(ctx *evalCtx, args []Expr) Value {
+		if len(args) != 1 && len(args) != 2 {
+			return ErrorValue("%s expects 1 or 2 arguments, got %d", name, len(args))
+		}
+		vs := evalArgs(ctx, args)
+		if bad, stop := propagate(vs); stop {
+			return bad
+		}
+		list, ok := vs[0].StringVal()
+		if !ok {
+			return ErrorValue("%s list is %s", name, vs[0].Kind())
+		}
+		delims := ""
+		if len(vs) == 2 {
+			d, ok := vs[1].StringVal()
+			if !ok {
+				return ErrorValue("%s delimiters are %s", name, vs[1].Kind())
+			}
+			delims = d
+		}
+		parts := splitList(list, delims)
+		if len(parts) == 0 {
+			return Undefined()
+		}
+		nums := make([]float64, 0, len(parts))
+		for _, p := range parts {
+			f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return ErrorValue("%s: %q is not numeric", name, p)
+			}
+			nums = append(nums, f)
+		}
+		return Real(agg(nums))
+	}
+}
+
+func init() {
+	builtins["stringlistmember"] = fnStringListMember
+	builtins["stringlistsize"] = fnStringListSize
+	builtins["stringlistsum"] = stringListAgg("stringListSum", func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	})
+	builtins["stringlistavg"] = stringListAgg("stringListAvg", func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	})
+	builtins["stringlistmin"] = stringListAgg("stringListMin", func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	})
+	builtins["stringlistmax"] = stringListAgg("stringListMax", func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	})
+}

@@ -1,0 +1,114 @@
+package classad
+
+import (
+	"strings"
+)
+
+// Expr is a parsed ClassAd expression. Expressions are immutable after
+// parsing and safe to evaluate from multiple contexts.
+type Expr interface {
+	// String renders the expression in canonical, re-parseable form:
+	// binary and ternary operations are fully parenthesized.
+	String() string
+	eval(ctx *evalCtx) Value
+}
+
+// literal is a constant value.
+type literal struct{ v Value }
+
+func (l literal) String() string          { return l.v.String() }
+func (l literal) eval(ctx *evalCtx) Value { return l.v }
+
+// Lit wraps a Value as a constant expression.
+func Lit(v Value) Expr { return literal{v} }
+
+// scope qualifies an attribute reference.
+type scope int
+
+const (
+	scopeNone   scope = iota // unqualified: self, then target
+	scopeMy                  // MY.attr: self only
+	scopeTarget              // TARGET.attr: other ad only
+)
+
+// attrRef is a reference to an attribute, optionally scope-qualified.
+type attrRef struct {
+	sc   scope
+	name string // original spelling, for printing
+}
+
+func (a attrRef) String() string {
+	switch a.sc {
+	case scopeMy:
+		return "MY." + a.name
+	case scopeTarget:
+		return "TARGET." + a.name
+	}
+	return a.name
+}
+
+// unary is a prefix operation: !, -, +.
+type unary struct {
+	op string
+	x  Expr
+}
+
+func (u unary) String() string { return "(" + u.op + u.x.String() + ")" }
+
+// binary is an infix operation.
+type binary struct {
+	op   string
+	l, r Expr
+}
+
+func (b binary) String() string {
+	return "(" + b.l.String() + " " + b.op + " " + b.r.String() + ")"
+}
+
+// cond is the ternary ?: operator.
+type cond struct {
+	c, t, f Expr
+}
+
+func (c cond) String() string {
+	return "(" + c.c.String() + " ? " + c.t.String() + " : " + c.f.String() + ")"
+}
+
+// call is a built-in function invocation.
+type call struct {
+	name string // original spelling
+	args []Expr
+}
+
+func (c call) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return c.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// listExpr is a list constructor {e1, e2, ...}.
+type listExpr struct{ items []Expr }
+
+func (l listExpr) String() string {
+	parts := make([]string, len(l.items))
+	for i, it := range l.items {
+		parts[i] = it.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// adExpr is a nested classad constructor [a = 1; b = 2].
+type adExpr struct {
+	names []string
+	exprs []Expr
+}
+
+func (a adExpr) String() string {
+	parts := make([]string, len(a.names))
+	for i := range a.names {
+		parts[i] = a.names[i] + " = " + a.exprs[i].String()
+	}
+	return "[ " + strings.Join(parts, "; ") + " ]"
+}

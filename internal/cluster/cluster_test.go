@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestComputeTakesDemandOverSpeed(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMachine(e, "fast", 1, 2.0, nil)
+	var done float64
+	e.Go("job", func(p *sim.Proc) {
+		m.Compute(p, 4) // 4 CPU-seconds at speed 2 -> 2 s
+		done = p.Now()
+	})
+	e.RunAll()
+	if math.Abs(done-2) > 1e-9 {
+		t.Fatalf("done at %v, want 2", done)
+	}
+}
+
+func TestDualCoreRunsTwoJobsUnimpeded(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMachine(e, "lucky", 2, 1.0, nil)
+	var d1, d2 float64
+	e.Go("a", func(p *sim.Proc) { m.Compute(p, 1); d1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { m.Compute(p, 1); d2 = p.Now() })
+	e.RunAll()
+	if d1 != 1 || d2 != 1 {
+		t.Fatalf("done at %v/%v, want 1/1", d1, d2)
+	}
+}
+
+func TestLoad1TracksRunQueue(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMachine(e, "m", 1, 1.0, nil)
+	// Keep 4 jobs runnable for 5 minutes; load1 should approach 4.
+	for i := 0; i < 4; i++ {
+		e.Go("j", func(p *sim.Proc) { m.Compute(p, 300.0/4) })
+	}
+	e.Go("probe", func(p *sim.Proc) {
+		p.Sleep(299)
+		if l := m.Load1(); math.Abs(l-4) > 0.1 {
+			t.Errorf("load1 = %v after 5 busy minutes, want ~4", l)
+		}
+	})
+	e.RunAll()
+}
+
+func TestLoad1DecaysWhenIdle(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMachine(e, "m", 1, 1.0, nil)
+	e.Go("j", func(p *sim.Proc) { m.Compute(p, 120) })
+	e.Go("probe", func(p *sim.Proc) {
+		p.Sleep(120) // job ends
+		busy := m.Load1()
+		p.Sleep(180) // three time constants idle
+		idle := m.Load1()
+		if idle > busy/5 {
+			t.Errorf("load1 did not decay: busy=%v idle=%v", busy, idle)
+		}
+	})
+	e.RunAll()
+}
+
+func TestCPUBusyIntegralWindows(t *testing.T) {
+	e := sim.NewEnv()
+	m := NewMachine(e, "m", 2, 1.0, nil)
+	e.Go("j", func(p *sim.Proc) { m.Compute(p, 10) }) // one core busy 10 s
+	var first, second float64
+	e.Go("probe", func(p *sim.Proc) {
+		p.Sleep(10)
+		first = m.CPUBusyIntegral()
+		p.Sleep(10)
+		second = m.CPUBusyIntegral()
+	})
+	e.RunAll()
+	if math.Abs(first-5) > 1e-9 { // 50% util for 10 s
+		t.Fatalf("first window integral = %v, want 5", first)
+	}
+	if math.Abs(second-first) > 1e-9 {
+		t.Fatalf("idle window accumulated %v, want 0", second-first)
+	}
+}
+
+func TestLinkSharesBandwidth(t *testing.T) {
+	e := sim.NewEnv()
+	l := NewLink(e, "lan", 100, 0) // 100 B/s
+	var d1, d2 float64
+	e.Go("a", func(p *sim.Proc) { l.Send(p, 100); d1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { l.Send(p, 100); d2 = p.Now() })
+	e.RunAll()
+	// Two flows share 100 B/s: both need 2 s.
+	if math.Abs(d1-2) > 1e-9 || math.Abs(d2-2) > 1e-9 {
+		t.Fatalf("transfers done at %v/%v, want 2/2", d1, d2)
+	}
+}
+
+func TestLinkLatencyAppliesOnceAfterBytes(t *testing.T) {
+	e := sim.NewEnv()
+	l := NewLink(e, "wan", 100, 0.5)
+	var done float64
+	e.Go("a", func(p *sim.Proc) { l.Send(p, 100); done = p.Now() })
+	e.RunAll()
+	if math.Abs(done-1.5) > 1e-9 {
+		t.Fatalf("transfer done at %v, want 1.5", done)
+	}
+}
+
+func TestTransferSameMachineIsFree(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	var done float64 = -1
+	e.Go("a", func(p *sim.Proc) {
+		tb.Network.Transfer(p, tb.Host("lucky3"), tb.Host("lucky3"), 1e9)
+		done = p.Now()
+	})
+	e.RunAll()
+	if done != 0 {
+		t.Fatalf("local transfer took %v, want 0", done)
+	}
+}
+
+func TestTransferCrossSiteUsesWAN(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	var done float64
+	e.Go("a", func(p *sim.Proc) {
+		tb.Network.Transfer(p, tb.Clients[0], tb.Host("lucky7"), 12.5e6)
+		done = p.Now()
+	})
+	e.RunAll()
+	// 12.5 MB across three 12.5 MB/s hops (src NIC, WAN, dst NIC) plus 5 ms
+	// WAN latency: 3 s + 0.005 s.
+	if math.Abs(done-3.005) > 1e-6 {
+		t.Fatalf("transfer done at %v, want 3.005", done)
+	}
+}
+
+func TestServerNICContention(t *testing.T) {
+	// Many clients transferring to one server must contend on the server
+	// NIC: 10 clients x 12.5MB to one host takes ~10x one transfer's
+	// bottleneck time.
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	server := tb.Host("lucky7")
+	var last float64
+	for i := 0; i < 10; i++ {
+		src := tb.Clients[i]
+		e.Go("c", func(p *sim.Proc) {
+			tb.Network.Transfer(p, src, server, 12.5e6)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.RunAll()
+	if last < 10 || last > 35 {
+		t.Fatalf("10 concurrent 1s-bottleneck transfers drained at %v, want ~10-30", last)
+	}
+}
+
+func TestRTT(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	lan := tb.Network.RTT(tb.Host("lucky0"), tb.Host("lucky3"))
+	if math.Abs(lan-2*DefaultLANLatency) > 1e-12 {
+		t.Fatalf("LAN RTT = %v", lan)
+	}
+	wan := tb.Network.RTT(tb.Clients[0], tb.Host("lucky0"))
+	if math.Abs(wan-2*DefaultWANLatency) > 1e-12 {
+		t.Fatalf("WAN RTT = %v", wan)
+	}
+	if tb.Network.RTT(tb.Host("lucky0"), tb.Host("lucky0")) != 0 {
+		t.Fatal("self RTT should be 0")
+	}
+}
+
+func TestTestbedTopology(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	if len(tb.Lucky) != 7 {
+		t.Fatalf("lucky machines = %d, want 7", len(tb.Lucky))
+	}
+	if _, ok := tb.Lucky["lucky2"]; ok {
+		t.Fatal("lucky2 should not exist (matches the paper's hostnames)")
+	}
+	if len(tb.Clients) != 20 {
+		t.Fatalf("clients = %d, want 20", len(tb.Clients))
+	}
+	for _, m := range tb.Lucky {
+		if m.Cores != 2 {
+			t.Fatalf("%s cores = %d, want 2", m.Name, m.Cores)
+		}
+	}
+	for _, c := range tb.Clients {
+		if c.Cores != 1 {
+			t.Fatalf("%s cores = %d, want 1", c.Name, c.Cores)
+		}
+	}
+}
+
+func TestHostUnknownPanics(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown host did not panic")
+		}
+	}()
+	tb.Host("lucky2")
+}
+
+func TestSpreadUsersEven(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	assign := SpreadUsers(tb.Clients, 100, 50)
+	if len(assign) != 100 {
+		t.Fatalf("assigned %d, want 100", len(assign))
+	}
+	counts := map[string]int{}
+	for _, m := range assign {
+		counts[m.Name]++
+	}
+	for name, c := range counts {
+		if c > 50 {
+			t.Fatalf("machine %s has %d users, cap is 50", name, c)
+		}
+	}
+}
+
+func TestSpreadUsersRespectsCap(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	assign := SpreadUsers(tb.Clients, 600, 50)
+	counts := map[string]int{}
+	for _, m := range assign {
+		counts[m.Name]++
+	}
+	for name, c := range counts {
+		if c > 50 {
+			t.Fatalf("machine %s has %d users, cap is 50", name, c)
+		}
+	}
+	if len(counts) != 20 {
+		t.Fatalf("600 users should use all 20 machines, used %d", len(counts))
+	}
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import "repro/internal/sim"
+
+// Network capacity defaults. The paper's testbed is a 100 Mbps switched LAN
+// at Argonne; the UC clients reach it over a metropolitan WAN.
+const (
+	// DefaultNICBandwidth is 100 Mbps in bytes/second.
+	DefaultNICBandwidth = 100e6 / 8
+	// DefaultLANLatency is the one-way latency between hosts on the same
+	// site.
+	DefaultLANLatency = 0.0005
+	// DefaultWANBandwidth is the UC–ANL wide-area capacity (100 Mbps
+	// regional research network).
+	DefaultWANBandwidth = 100e6 / 8
+	// DefaultWANLatency is the one-way UC–ANL latency.
+	DefaultWANLatency = 0.005
+)
+
+// Link is a shared network pipe: all in-flight transfers share its
+// bandwidth equally (processor sharing over bytes), and each transfer pays
+// the link's one-way propagation latency once.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes per second
+	Latency   float64 // one-way propagation delay, seconds
+
+	env *sim.Env
+	ps  *sim.PS
+}
+
+// NewLink returns a link with the given capacity in bytes/second and
+// one-way latency in seconds.
+func NewLink(env *sim.Env, name string, bandwidth, latency float64) *Link {
+	return &Link{
+		Name:      name,
+		Bandwidth: bandwidth,
+		Latency:   latency,
+		env:       env,
+		ps:        sim.NewPS(env, 1, bandwidth),
+	}
+}
+
+// Send blocks p while bytes cross the link, sharing bandwidth with every
+// concurrent transfer, then pays the propagation latency.
+func (l *Link) Send(p *sim.Proc, bytes float64) {
+	if bytes > 0 {
+		l.ps.Consume(p, bytes)
+	}
+	if l.Latency > 0 {
+		p.Sleep(l.Latency)
+	}
+}
+
+// InFlight reports the number of concurrent transfers on the link.
+func (l *Link) InFlight() int { return l.ps.Active() }
+
+// Utilization reports time-averaged link utilization in [0,1].
+func (l *Link) Utilization() float64 { return l.ps.Utilization() }
+
+// Site is a collection of machines behind a common location, connected to
+// other sites by WAN links.
+type Site struct {
+	Name     string
+	Machines []*Machine
+	// LANLatency is the one-way latency between two machines of this site.
+	LANLatency float64
+}
+
+// NewSite returns an empty site.
+func NewSite(name string, lanLatency float64) *Site {
+	return &Site{Name: name, LANLatency: lanLatency}
+}
+
+// Network owns the inter-site links and computes transfer paths.
+type Network struct {
+	env *sim.Env
+	// wan maps the unordered site pair "a|b" to its link.
+	wan map[string]*Link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(env *sim.Env) *Network {
+	return &Network{env: env, wan: make(map[string]*Link)}
+}
+
+func pairKey(a, b *Site) string {
+	if a.Name < b.Name {
+		return a.Name + "|" + b.Name
+	}
+	return b.Name + "|" + a.Name
+}
+
+// ConnectSites installs a WAN link between two sites.
+func (n *Network) ConnectSites(a, b *Site, bandwidth, latency float64) *Link {
+	l := NewLink(n.env, pairKey(a, b), bandwidth, latency)
+	n.wan[pairKey(a, b)] = l
+	return l
+}
+
+// WANLink returns the link between two sites, or nil when the sites are the
+// same or unconnected.
+func (n *Network) WANLink(a, b *Site) *Link {
+	if a == b {
+		return nil
+	}
+	return n.wan[pairKey(a, b)]
+}
+
+// Transfer moves bytes from machine src to machine dst: the bytes cross the
+// sender's NIC, the WAN link if the machines are at different sites, and
+// the receiver's NIC, plus the path's one-way propagation latency. It
+// blocks p for the full transfer time. Transfers between a machine and
+// itself cost nothing.
+func (n *Network) Transfer(p *sim.Proc, src, dst *Machine, bytes float64) {
+	if src == dst {
+		return
+	}
+	if src.site == dst.site || src.site == nil || dst.site == nil {
+		// Same site, or standalone machines: direct NIC-to-NIC path.
+		if src.site != nil {
+			p.Sleep(src.site.LANLatency)
+		}
+		src.nic.Send(p, bytes)
+		dst.nic.Send(p, bytes)
+		return
+	}
+	w := n.WANLink(src.site, dst.site)
+	if w == nil {
+		panic("cluster: no WAN link between " + src.Name + " and " + dst.Name)
+	}
+	src.nic.Send(p, bytes)
+	w.Send(p, bytes)
+	dst.nic.Send(p, bytes)
+}
+
+// RTT reports the round-trip propagation latency between two machines,
+// excluding any transmission or queueing time.
+func (n *Network) RTT(src, dst *Machine) float64 {
+	if src == dst {
+		return 0
+	}
+	if src.site == dst.site || src.site == nil || dst.site == nil {
+		if src.site != nil {
+			return 2 * src.site.LANLatency
+		}
+		return 0
+	}
+	w := n.WANLink(src.site, dst.site)
+	if w == nil {
+		return 0
+	}
+	return 2 * w.Latency
+}

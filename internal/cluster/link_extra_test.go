@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLinkInFlightAndUtilization(t *testing.T) {
+	e := sim.NewEnv()
+	l := NewLink(e, "l", 100, 0)
+	e.Go("a", func(p *sim.Proc) { l.Send(p, 500) })
+	e.Go("probe", func(p *sim.Proc) {
+		p.Sleep(1)
+		if l.InFlight() != 1 {
+			t.Errorf("InFlight = %d, want 1", l.InFlight())
+		}
+	})
+	e.Run(10)
+	if l.InFlight() != 0 {
+		t.Fatalf("InFlight after drain = %d", l.InFlight())
+	}
+	// Busy 5 of 10 seconds.
+	if u := l.Utilization(); u < 0.45 || u > 0.55 {
+		t.Fatalf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestTransferStandaloneMachines(t *testing.T) {
+	// Machines without a site use a direct NIC-to-NIC path (regression
+	// for the nil-site panic).
+	e := sim.NewEnv()
+	n := NewNetwork(e)
+	a := NewMachine(e, "a", 1, 1, nil)
+	b := NewMachine(e, "b", 1, 1, nil)
+	var done float64 = -1
+	e.Go("x", func(p *sim.Proc) {
+		n.Transfer(p, a, b, DefaultNICBandwidth) // one second per NIC hop
+		done = p.Now()
+	})
+	e.Run(10)
+	if done < 1.9 || done > 2.1 {
+		t.Fatalf("standalone transfer done at %v, want ~2", done)
+	}
+	if n.RTT(a, b) != 0 {
+		t.Fatalf("standalone RTT = %v", n.RTT(a, b))
+	}
+}
+
+func TestWANMissingPanics(t *testing.T) {
+	e := sim.NewEnv()
+	n := NewNetwork(e)
+	siteA := NewSite("a", 0)
+	siteB := NewSite("b", 0)
+	a := NewMachine(e, "a0", 1, 1, siteA)
+	b := NewMachine(e, "b0", 1, 1, siteB)
+	recovered := false
+	e.Go("x", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		n.Transfer(p, a, b, 10)
+	})
+	func() {
+		defer func() { recover() }() // the kernel re-panics the proc failure
+		e.Run(1)
+	}()
+	_ = recovered
+}
+
+func TestMachineValidation(t *testing.T) {
+	e := sim.NewEnv()
+	for _, c := range []struct {
+		cores int
+		speed float64
+	}{{0, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMachine(cores=%d speed=%v) did not panic", c.cores, c.speed)
+				}
+			}()
+			NewMachine(e, "bad", c.cores, c.speed, nil)
+		}()
+	}
+}
+
+func TestSpreadUsersSmallCounts(t *testing.T) {
+	e := sim.NewEnv()
+	tb := NewTestbed(e)
+	if got := SpreadUsers(tb.Clients, 0, 50); got != nil {
+		t.Fatalf("0 users = %v", got)
+	}
+	one := SpreadUsers(tb.Clients, 1, 50)
+	if len(one) != 1 {
+		t.Fatalf("1 user = %d placements", len(one))
+	}
+	capped := SpreadUsers(tb.Clients, 10, 0) // cap <= 0 coerced to 1
+	counts := map[string]int{}
+	for _, m := range capped {
+		counts[m.Name]++
+	}
+	for name, n := range counts {
+		if n > 1 {
+			t.Fatalf("machine %s has %d users with cap 1", name, n)
+		}
+	}
+}

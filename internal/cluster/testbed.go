@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Testbed is the paper's experimental platform: the Lucky cluster at
+// Argonne (seven dual-CPU Linux machines named lucky0, lucky1, lucky3..7 on
+// a 100 Mbps LAN) and a cluster of twenty client machines at the
+// University of Chicago reached over a WAN.
+type Testbed struct {
+	Env     *sim.Env
+	Network *Network
+	ANL     *Site
+	UC      *Site
+	// Lucky maps the paper's host names (lucky0, lucky1, lucky3..lucky7)
+	// to machines. Note lucky2 does not exist, matching the paper.
+	Lucky map[string]*Machine
+	// Clients are the UC machines uc00..uc19. The first fifteen are the
+	// paper's faster 1208 MHz hosts; the rest are slightly slower.
+	Clients []*Machine
+}
+
+// LuckyNames lists the Lucky hostnames in the paper's testbed.
+var LuckyNames = []string{"lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"}
+
+// NewTestbed builds the paper's testbed on a fresh view of env.
+func NewTestbed(env *sim.Env) *Testbed {
+	tb := &Testbed{
+		Env:     env,
+		Network: NewNetwork(env),
+		ANL:     NewSite("anl", DefaultLANLatency),
+		UC:      NewSite("uc", DefaultLANLatency),
+		Lucky:   make(map[string]*Machine),
+	}
+	for _, name := range LuckyNames {
+		// Dual 1133 MHz PIII: 2 cores at reference speed 1.0.
+		tb.Lucky[name] = NewMachine(env, name, 2, 1.0, tb.ANL)
+	}
+	for i := 0; i < 20; i++ {
+		speed := 1.05 // 1208 MHz relative to the 1133 MHz reference
+		if i >= 15 {
+			speed = 0.75 // "at least 756 MHz"
+		}
+		m := NewMachine(env, fmt.Sprintf("uc%02d", i), 1, speed, tb.UC)
+		tb.Clients = append(tb.Clients, m)
+	}
+	tb.Network.ConnectSites(tb.ANL, tb.UC, DefaultWANBandwidth, DefaultWANLatency)
+	return tb
+}
+
+// Host returns the named Lucky machine, panicking on unknown names so that
+// experiment configuration errors surface immediately.
+func (tb *Testbed) Host(name string) *Machine {
+	m, ok := tb.Lucky[name]
+	if !ok {
+		panic("cluster: unknown lucky host " + name)
+	}
+	return m
+}
+
+// SpreadUsers distributes n simulated users over the client machines the
+// way the paper does: evenly divided, at most maxPerMachine per machine.
+// It returns a machine assignment of length n. If the client pool cannot
+// hold n users under the cap, the overflow wraps around (the paper never
+// exceeds 20×50 = 1000 users from UC).
+func SpreadUsers(clients []*Machine, n, maxPerMachine int) []*Machine {
+	if n <= 0 {
+		return nil
+	}
+	if maxPerMachine <= 0 {
+		maxPerMachine = 1
+	}
+	out := make([]*Machine, 0, n)
+	// Use as few users per machine as an even split allows.
+	per := (n + len(clients) - 1) / len(clients)
+	if per > maxPerMachine {
+		per = maxPerMachine
+	}
+	for len(out) < n {
+		for _, m := range clients {
+			for k := 0; k < per && len(out) < n; k++ {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package core is the paper's primary contribution rendered as code: the
+// functional component mapping of Table 1 — Information Collector,
+// Information Server, Aggregate Information Server, and Directory Server —
+// expressed as interfaces, with adapters binding MDS, R-GMA and Hawkeye
+// components to each role. The experiment harness measures every system
+// through these uniform interfaces, exactly as the paper compares the
+// systems through the mapping.
+package core
+
+// System identifies one of the three monitoring and information services.
+type System string
+
+// The three services under study.
+const (
+	SystemMDS     System = "MDS"
+	SystemRGMA    System = "R-GMA"
+	SystemHawkeye System = "Hawkeye"
+)
+
+// Role identifies a functional component role from Table 1.
+type Role string
+
+// The four component roles of Table 1.
+const (
+	RoleInformationCollector Role = "Information Collector"
+	RoleInformationServer    Role = "Information Server"
+	RoleAggregateServer      Role = "Aggregate Information Server"
+	RoleDirectoryServer      Role = "Directory Server"
+)
+
+// ComponentMapping reproduces Table 1: for each role, the concrete
+// component name in each system. R-GMA has no aggregate information
+// server in the standard distribution (the paper notes one could be built
+// from a composite Consumer/Producer).
+var ComponentMapping = map[Role]map[System]string{
+	RoleInformationCollector: {
+		SystemMDS:     "Information Provider",
+		SystemRGMA:    "Producer",
+		SystemHawkeye: "Module",
+	},
+	RoleInformationServer: {
+		SystemMDS:     "GRIS",
+		SystemRGMA:    "ProducerServlet",
+		SystemHawkeye: "Agent",
+	},
+	RoleAggregateServer: {
+		SystemMDS:     "GIIS",
+		SystemRGMA:    "", // none in the standard distribution
+		SystemHawkeye: "Manager",
+	},
+	RoleDirectoryServer: {
+		SystemMDS:     "GIIS",
+		SystemRGMA:    "Registry",
+		SystemHawkeye: "Manager",
+	},
+}
+
+// Work quantifies what a component did to answer one request, in units
+// common to all three systems. The testbed calibration converts Work into
+// CPU seconds and wire bytes.
+type Work struct {
+	// CollectorInvocations is the weighted count of information-collector
+	// executions (MDS provider forks, Hawkeye module runs): the dominant
+	// cost the paper's caching experiments isolate.
+	CollectorInvocations float64
+	// RecordsVisited counts stored records examined (LDAP entries walked,
+	// SQL rows scanned, ClassAds matched against).
+	RecordsVisited int
+	// RecordsReturned counts records in the response.
+	RecordsReturned int
+	// Subqueries counts internal fan-out calls (ConsumerServlet to
+	// ProducerServlets, for example).
+	Subqueries int
+	// ThreadSpawns counts servlet-style worker threads created — the Java
+	// overhead the paper credits for R-GMA's lower Registry throughput.
+	ThreadSpawns int
+	// ResponseBytes is the response payload size.
+	ResponseBytes int
+}
+
+// Add accumulates o into w.
+func (w *Work) Add(o Work) {
+	w.CollectorInvocations += o.CollectorInvocations
+	w.RecordsVisited += o.RecordsVisited
+	w.RecordsReturned += o.RecordsReturned
+	w.Subqueries += o.Subqueries
+	w.ThreadSpawns += o.ThreadSpawns
+	w.ResponseBytes += o.ResponseBytes
+}
+
+// Component is anything occupying a Table 1 role.
+type Component interface {
+	// ComponentName names the concrete component (e.g. "GRIS").
+	ComponentName() string
+	// System identifies the owning service.
+	System() System
+	// Role identifies the Table 1 role this binding represents.
+	Role() Role
+}
+
+// InformationServer is the resource-level query target: the most heavily
+// accessed component (Experiment Sets 1 and 3).
+type InformationServer interface {
+	Component
+	// QueryAll answers the standard user query for all of the server's
+	// data at time now.
+	QueryAll(now float64) (Work, error)
+}
+
+// DirectoryServer resolves "what resources exist and where" (Experiment
+// Set 2).
+type DirectoryServer interface {
+	Component
+	// Lookup performs the standard directory query at time now.
+	Lookup(now float64) (Work, error)
+}
+
+// AggregateInformationServer serves data aggregated from many information
+// servers (Experiment Set 4).
+type AggregateInformationServer interface {
+	Component
+	// QueryAll requests all data from every aggregated information
+	// server.
+	QueryAll(now float64) (Work, error)
+	// QueryPart requests only a slice of each aggregated server's data.
+	QueryPart(now float64) (Work, error)
+}
+
+// InformationCollector is the lowest-level data generator.
+type InformationCollector interface {
+	Component
+	// Collect produces the collector's current records, returning the
+	// record count.
+	Collect(now float64) (records int, err error)
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func TestAblationCacheTTLInterpolates(t *testing.T) {
+	// Throughput should rise monotonically from the no-cache to the
+	// always-cached configuration as the TTL grows.
+	cal := DefaultCalibration()
+	x0 := RunPoint(BuildGRISWithTTL(cal, 0), 200, quick()).Throughput
+	x30 := RunPoint(BuildGRISWithTTL(cal, 30), 200, quick()).Throughput
+	xInf := RunPoint(BuildGRISWithTTL(cal, 1e12), 200, quick()).Throughput
+	if !(x0 < x30 && x30 < xInf) {
+		t.Errorf("TTL sweep not monotone: ttl0=%.2f ttl30=%.2f ttlInf=%.2f", x0, x30, xInf)
+	}
+	// A 30-second TTL already recovers most of the caching benefit: the
+	// per-query amortized refresh cost is tiny.
+	if x30 < xInf/2 {
+		t.Errorf("30s TTL recovers only %.2f of %.2f q/s", x30, xInf)
+	}
+}
+
+func TestAblationWorkerPoolWidth(t *testing.T) {
+	// One worker serializes the Agent; more workers help until the CPU
+	// becomes the bottleneck.
+	cal := DefaultCalibration()
+	w1 := RunPoint(BuildAgentWithWorkers(cal, 1), 300, quick()).Throughput
+	w8 := RunPoint(BuildAgentWithWorkers(cal, 8), 300, quick()).Throughput
+	if w8 < 2*w1 {
+		t.Errorf("8 workers (%.1f q/s) should far outrun 1 worker (%.1f q/s)", w8, w1)
+	}
+	w64 := RunPoint(BuildAgentWithWorkers(cal, 64), 300, quick()).Throughput
+	if w64 < w8*0.8 {
+		t.Errorf("64 workers (%.1f) collapsed versus 8 (%.1f)", w64, w8)
+	}
+}
+
+func TestAblationBacklogDepth(t *testing.T) {
+	// A deeper accept queue trades refusals for queueing delay: refusal
+	// counts must fall as the backlog grows.
+	cal := DefaultCalibration()
+	shallow := RunPoint(BuildServletWithBacklog(cal, 2), 300, quick())
+	deep := RunPoint(BuildServletWithBacklog(cal, 256), 300, quick())
+	if shallow.Refusals <= deep.Refusals {
+		t.Errorf("refusals: backlog2=%d backlog256=%d — deeper queue should refuse less",
+			shallow.Refusals, deep.Refusals)
+	}
+	if deep.Throughput < shallow.Throughput*0.8 {
+		t.Errorf("throughput: backlog2=%.1f backlog256=%.1f", shallow.Throughput, deep.Throughput)
+	}
+}
+
+func TestAblationWANLatency(t *testing.T) {
+	// The paper's future work asks how the results change over a WAN.
+	// With the cached GRIS, response time is dominated by the protocol
+	// pipeline, so even a 10x latency increase moves it only modestly —
+	// but it must move.
+	cal := DefaultCalibration()
+	nearPt := RunPoint(BuildGRISWithWANLatency(cal, 0.005), 200, quick())
+	farPt := RunPoint(BuildGRISWithWANLatency(cal, 0.050), 200, quick())
+	if farPt.ResponseTime <= nearPt.ResponseTime {
+		t.Errorf("RT near=%.3f far=%.3f — higher WAN latency must cost something",
+			nearPt.ResponseTime, farPt.ResponseTime)
+	}
+	if farPt.ResponseTime > nearPt.ResponseTime+0.5 {
+		t.Errorf("RT near=%.3f far=%.3f — pipeline latency should dominate",
+			nearPt.ResponseTime, farPt.ResponseTime)
+	}
+}
+
+func TestBackgroundLoadDegradesService(t *testing.T) {
+	// The simulation couples services to their hosts: a compute-intensive
+	// background job on the server machine must reduce the CPU-bound
+	// no-cache GRIS's throughput.
+	cal := DefaultCalibration()
+	base := RunPoint(BuildGRISUsers(cal, false), 100, quick())
+
+	hoggedBuilder := func(env *sim.Env, tb *cluster.Testbed, x int) (*Deployment, error) {
+		dep, err := BuildGRISUsers(cal, false)(env, tb, x)
+		if err != nil {
+			return nil, err
+		}
+		prev := dep.Background
+		dep.Background = func() {
+			if prev != nil {
+				prev()
+			}
+			// One infinite-demand compute job occupies a core.
+			env.Go("cpu-hog", func(p *sim.Proc) {
+				for {
+					dep.Monitored.Compute(p, 60)
+				}
+			})
+		}
+		return dep, nil
+	}
+	hogged := RunPoint(hoggedBuilder, 100, quick())
+	if hogged.Throughput >= base.Throughput {
+		t.Errorf("CPU hog did not degrade service: base=%.2f hogged=%.2f",
+			base.Throughput, hogged.Throughput)
+	}
+	if hogged.CPULoad <= base.CPULoad {
+		t.Errorf("CPU hog invisible in host metrics: base=%.1f%% hogged=%.1f%%",
+			base.CPULoad, hogged.CPULoad)
+	}
+}

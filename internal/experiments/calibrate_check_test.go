@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPrintExp1Curves is a calibration aid: run with
+//
+//	go test ./internal/experiments -run TestPrintExp1Curves -v -calibrate
+//
+// to print the Experiment Set 1 panels. Skipped unless -calibrate is set.
+func TestPrintExp1Curves(t *testing.T) {
+	if !*calibrate {
+		t.Skip("pass -calibrate to print curves")
+	}
+	cal := DefaultCalibration()
+	xs := []int{1, 50, 100, 200, 300, 400, 500, 600}
+	series := Exp1InfoServerUsers(cal, xs, PaperParams())
+	t.Log("\n" + FormatSeries("Exp1: Information Server vs Users (Figures 5-8)", "users", series))
+}
+
+func TestPrintExp2Curves(t *testing.T) {
+	if !*calibrate {
+		t.Skip("pass -calibrate to print curves")
+	}
+	cal := DefaultCalibration()
+	xs := []int{1, 50, 100, 200, 300, 400, 500, 600}
+	series := Exp2DirectoryUsers(cal, xs, PaperParams())
+	t.Log("\n" + FormatSeries("Exp2: Directory Server vs Users (Figures 9-12)", "users", series))
+}
+
+func TestPrintExp3Curves(t *testing.T) {
+	if !*calibrate {
+		t.Skip("pass -calibrate to print curves")
+	}
+	cal := DefaultCalibration()
+	series := Exp3InfoServerCollectors(cal, CollectorCounts, PaperParams())
+	t.Log("\n" + FormatSeries("Exp3: Information Server vs Collectors (Figures 13-16)", "colls", series))
+}
+
+func TestPrintExp4Curves(t *testing.T) {
+	if !*calibrate {
+		t.Skip("pass -calibrate to print curves")
+	}
+	cal := DefaultCalibration()
+	xsAll := []int{10, 50, 100, 200}
+	xsPart := []int{10, 50, 100, 200, 350, 500}
+	xsMgr := []int{10, 100, 200, 400, 600, 800, 1000}
+	series := Exp4AggregateServers(cal, xsAll, xsPart, xsMgr, PaperParams())
+	t.Log("\n" + FormatSeries("Exp4: Aggregate Server vs Info Servers (Figures 17-20)", "servers", series))
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The tests in this file assert the paper's qualitative findings on
+// shortened measurement windows. They are the acceptance criteria of the
+// reproduction: who wins, by roughly what factor, and where the knees lie.
+
+func quick() Params { return QuickParams() }
+
+func TestCachingDominatesInfoServerThroughput(t *testing.T) {
+	// Paper, Figures 5-6: with data in cache the GRIS scales near
+	// linearly; without cache it never exceeds ~2 queries/sec.
+	cal := DefaultCalibration()
+	cached200 := RunPoint(BuildGRISUsers(cal, true), 200, quick())
+	nocache200 := RunPoint(BuildGRISUsers(cal, false), 200, quick())
+	if nocache200.Throughput > 2.5 {
+		t.Errorf("no-cache GRIS throughput = %.2f, paper ceiling ~2 q/s", nocache200.Throughput)
+	}
+	if cached200.Throughput < 10*nocache200.Throughput {
+		t.Errorf("cache advantage only %.1fx (cache %.2f vs nocache %.2f), paper shows >10x",
+			cached200.Throughput/nocache200.Throughput, cached200.Throughput, nocache200.Throughput)
+	}
+	if nocache200.ResponseTime < 5*cached200.ResponseTime {
+		t.Errorf("no-cache RT %.1fs not far above cache RT %.1fs",
+			nocache200.ResponseTime, cached200.ResponseTime)
+	}
+}
+
+func TestCachedGRISThroughputNearLinear(t *testing.T) {
+	// Paper, Figure 5: cached-GRIS throughput grows ~linearly with users.
+	cal := DefaultCalibration()
+	build := BuildGRISUsers(cal, true)
+	x100 := RunPoint(build, 100, quick())
+	x400 := RunPoint(build, 400, quick())
+	ratio := x400.Throughput / x100.Throughput
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("throughput 400users/100users = %.2f, want ~4 (linear)", ratio)
+	}
+}
+
+func TestCachedGRISResponseTimeStable(t *testing.T) {
+	// Paper: "stable performance (approximately 4 seconds per query) for
+	// 50 concurrent users or more".
+	cal := DefaultCalibration()
+	build := BuildGRISUsers(cal, true)
+	rt100 := RunPoint(build, 100, quick()).ResponseTime
+	rt500 := RunPoint(build, 500, quick()).ResponseTime
+	if rt100 < 2.5 || rt100 > 5.5 || rt500 < 2.5 || rt500 > 5.5 {
+		t.Errorf("cached GRIS RT = %.2f (100u) / %.2f (500u), paper ~4s stable", rt100, rt500)
+	}
+}
+
+func TestAgentResponseTimeModerate(t *testing.T) {
+	// Paper, Figure 6: the Hawkeye Agent stays under ~10s response time
+	// through 500 users.
+	cal := DefaultCalibration()
+	pt := RunPoint(BuildAgentUsers(cal), 500, quick())
+	if pt.ResponseTime > 12 {
+		t.Errorf("Agent RT at 500 users = %.1fs, paper keeps it under ~10s", pt.ResponseTime)
+	}
+	if pt.Throughput < 20 {
+		t.Errorf("Agent throughput at 500 users = %.1f, want substantial", pt.Throughput)
+	}
+}
+
+func TestRGMAResponseTimeGrowsWithUsers(t *testing.T) {
+	// Paper, Figure 6: ProducerServlet response time grows ~linearly.
+	cal := DefaultCalibration()
+	build := BuildProducerServletUsers(cal, false)
+	rt100 := RunPoint(build, 100, quick()).ResponseTime
+	rt400 := RunPoint(build, 400, quick()).ResponseTime
+	if rt400 < 2*rt100 {
+		t.Errorf("R-GMA RT: %.1fs at 100 users vs %.1fs at 400 — expected clear growth", rt100, rt400)
+	}
+}
+
+func TestUCConsumerServletCap(t *testing.T) {
+	// Paper: only 120 consumers per ConsumerServlet in the UC setup.
+	cal := DefaultCalibration()
+	pt := RunPoint(BuildProducerServletUsers(cal, true), 200, quick())
+	if !pt.Failed {
+		t.Error("200 UC consumers should exceed the 120-consumer environment limit")
+	}
+	ok := RunPoint(BuildProducerServletUsers(cal, true), 100, quick())
+	if ok.Failed || ok.Completed == 0 {
+		t.Error("100 UC consumers should run")
+	}
+}
+
+func TestDirectoryServersScaleAndRank(t *testing.T) {
+	// Paper, Figures 9-12: GIIS and Manager present good scalability;
+	// the Registry has lower throughput and higher load; the GIIS burns
+	// roughly twice the Manager's CPU.
+	cal := DefaultCalibration()
+	giis := RunPoint(BuildGIISUsers(cal), 400, quick())
+	mgr := RunPoint(BuildManagerUsers(cal), 400, quick())
+	reg := RunPoint(BuildRegistryUsers(cal, false), 400, quick())
+
+	if giis.Throughput < 40 || mgr.Throughput < 40 {
+		t.Errorf("directory throughput too low: GIIS %.1f, Manager %.1f", giis.Throughput, mgr.Throughput)
+	}
+	if reg.Throughput >= giis.Throughput || reg.Throughput >= mgr.Throughput {
+		t.Errorf("Registry throughput %.1f should be below GIIS %.1f and Manager %.1f",
+			reg.Throughput, giis.Throughput, mgr.Throughput)
+	}
+	if giis.CPULoad < 1.5*mgr.CPULoad {
+		t.Errorf("GIIS CPU %.1f%% vs Manager %.1f%% — paper shows ~2x", giis.CPULoad, mgr.CPULoad)
+	}
+	if reg.CPULoad <= mgr.CPULoad {
+		t.Errorf("Registry CPU %.1f%% should exceed Manager %.1f%%", reg.CPULoad, mgr.CPULoad)
+	}
+}
+
+func TestRegistryUCSimilarToLucky(t *testing.T) {
+	// Paper: "little difference between the performances of R-GMA's
+	// Registry when accessed by two different kinds of simulated
+	// Consumers" — contention at the Registry dominates networking.
+	cal := DefaultCalibration()
+	lucky := RunPoint(BuildRegistryUsers(cal, false), 100, quick())
+	uc := RunPoint(BuildRegistryUsers(cal, true), 100, quick())
+	if lucky.Throughput == 0 || uc.Throughput == 0 {
+		t.Fatal("registry variants did not run")
+	}
+	ratio := uc.Throughput / lucky.Throughput
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("UC/lucky registry throughput ratio = %.2f, paper shows near parity", ratio)
+	}
+}
+
+func TestCollectorsDegradeEveryServer(t *testing.T) {
+	// Paper, Figures 13-16: performance degrades as collectors grow; the
+	// cached GRIS is the exception that still serves ~7 q/s at 90
+	// collectors with sub-second responses, while the others fall under
+	// ~1 q/s with >10s responses.
+	cal := DefaultCalibration()
+	cached := RunPoint(BuildGRISCollectors(cal, true), 90, quick())
+	if cached.Throughput < 5 {
+		t.Errorf("cached GRIS at 90 collectors = %.2f q/s, paper ~7", cached.Throughput)
+	}
+	if cached.ResponseTime > 1 {
+		t.Errorf("cached GRIS RT at 90 collectors = %.2fs, paper <1s", cached.ResponseTime)
+	}
+	for _, c := range []struct {
+		name  string
+		build Builder
+	}{
+		{"GRIS nocache", BuildGRISCollectors(cal, false)},
+		{"Agent", BuildAgentCollectors(cal)},
+		{"ProducerServlet", BuildProducerServletCollectors(cal)},
+	} {
+		lo := RunPoint(c.build, 10, quick())
+		hi := RunPoint(c.build, 90, quick())
+		if hi.Throughput > 1.2 {
+			t.Errorf("%s at 90 collectors = %.2f q/s, paper <1", c.name, hi.Throughput)
+		}
+		if hi.Throughput >= lo.Throughput {
+			t.Errorf("%s did not degrade: %.2f -> %.2f", c.name, lo.Throughput, hi.Throughput)
+		}
+		if hi.ResponseTime < 10 {
+			t.Errorf("%s RT at 90 collectors = %.1fs, paper >10s", c.name, hi.ResponseTime)
+		}
+	}
+}
+
+func TestAgentModuleCrashLimit(t *testing.T) {
+	// Paper: adding a 99th Module crashed the Startd.
+	cal := DefaultCalibration()
+	pt := RunPoint(BuildAgentCollectors(cal), 99, quick())
+	if !pt.Failed {
+		t.Error("99 modules should crash the Startd")
+	}
+	ok := RunPoint(BuildAgentCollectors(cal), 98, quick())
+	if ok.Failed {
+		t.Error("98 modules should run")
+	}
+}
+
+func TestAggregationDegradesWithServers(t *testing.T) {
+	// Paper, Figures 17-18: large degradation as registered information
+	// servers grow; no aggregate server handles >100 well.
+	cal := DefaultCalibration()
+	all10 := RunPoint(BuildGIISAggregate(cal, true), 10, quick())
+	all200 := RunPoint(BuildGIISAggregate(cal, true), 200, quick())
+	if all200.Throughput > all10.Throughput/3 {
+		t.Errorf("GIIS query-all barely degraded: %.2f -> %.2f", all10.Throughput, all200.Throughput)
+	}
+	mgr10 := RunPoint(BuildManagerAggregate(cal), 10, quick())
+	mgr1000 := RunPoint(BuildManagerAggregate(cal), 1000, quick())
+	if mgr1000.Throughput > mgr10.Throughput/3 {
+		t.Errorf("Manager barely degraded: %.2f -> %.2f", mgr10.Throughput, mgr1000.Throughput)
+	}
+}
+
+func TestQueryPartBeatsQueryAll(t *testing.T) {
+	// Paper: querying part of each GRIS's data outperforms query-all and
+	// reaches 500 registered GRIS where query-all crashes past 200.
+	cal := DefaultCalibration()
+	all := RunPoint(BuildGIISAggregate(cal, true), 200, quick())
+	part := RunPoint(BuildGIISAggregate(cal, false), 200, quick())
+	if part.Throughput <= all.Throughput {
+		t.Errorf("query-part %.2f q/s should beat query-all %.2f", part.Throughput, all.Throughput)
+	}
+	crash := RunPoint(BuildGIISAggregate(cal, true), 250, quick())
+	if !crash.Failed {
+		t.Error("query-all past 200 GRIS should fail (paper's crash)")
+	}
+	big := RunPoint(BuildGIISAggregate(cal, false), 500, quick())
+	if big.Failed {
+		t.Error("query-part at 500 GRIS should run")
+	}
+}
+
+func TestFormatSeriesRendersAllPanels(t *testing.T) {
+	s := []Series{{Label: "a", Points: []Point{{X: 1, Throughput: 2}}},
+		{Label: "b", Points: []Point{{X: 1}, {X: 5, Failed: true}}}}
+	out := FormatSeries("T", "x", s)
+	for _, want := range []string{"Throughput", "Response Time", "Load1", "CPU Load", "crash", "T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSeries missing %q", want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	s := []Series{{Label: "a", Points: []Point{{X: 1, Throughput: 2.5, Completed: 3}}}}
+	out := CSV(s)
+	if !strings.Contains(out, "series,x,throughput") || !strings.Contains(out, "a,1,2.5") {
+		t.Errorf("CSV = %q", out)
+	}
+}
+
+func TestRunPointDeterministic(t *testing.T) {
+	cal := DefaultCalibration()
+	a := RunPoint(BuildGRISUsers(cal, true), 50, quick())
+	b := RunPoint(BuildGRISUsers(cal, true), 50, quick())
+	if a.Throughput != b.Throughput || a.ResponseTime != b.ResponseTime ||
+		a.Load1 != b.Load1 || a.CPULoad != b.CPULoad {
+		t.Errorf("nondeterministic points: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "flag"
+
+// calibrate gates the curve-printing calibration tests.
+var calibrate = flag.Bool("calibrate", false, "print full experiment curves for calibration")

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func newDep(t *testing.T, build Builder, x int) *Deployment {
+	t.Helper()
+	env := sim.NewEnv()
+	tb := cluster.NewTestbed(env)
+	dep, err := build(env, tb, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestHierarchyBothVariantsServeQueries(t *testing.T) {
+	cal := DefaultCalibration()
+	flat := RunPoint(BuildGIISFlat(cal), 40, quick())
+	two := RunPoint(BuildGIISTwoLevel(cal), 40, quick())
+	if flat.Completed == 0 || two.Completed == 0 {
+		t.Fatalf("variants did not serve: flat=%d two=%d", flat.Completed, two.Completed)
+	}
+}
+
+func TestHierarchyShedsRegistrationLoad(t *testing.T) {
+	// The paper's Section 3.6 recommendation: with many information
+	// servers, a middle layer should absorb the registration fan-in. At
+	// 200 GRIS the flat GIIS handles 200 renewals per interval while the
+	// two-level top handles 4 (larger) ones; the top host must serve at
+	// least as well, and not run hotter.
+	cal := DefaultCalibration()
+	flat := RunPoint(BuildGIISFlat(cal), 200, quick())
+	two := RunPoint(BuildGIISTwoLevel(cal), 200, quick())
+	if two.Throughput < flat.Throughput {
+		t.Errorf("two-level throughput %.2f below flat %.2f — hierarchy should not hurt",
+			two.Throughput, flat.Throughput)
+	}
+}
+
+func TestHierarchyServesSameData(t *testing.T) {
+	// Both layouts must answer with the same record universe: a query
+	// against either returns responses of identical size.
+	cal := DefaultCalibration()
+	flatDep := newDep(t, BuildGIISFlat(cal), 24)
+	twoDep := newDep(t, BuildGIISTwoLevel(cal), 24)
+	df, err := flatDep.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := twoDep.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df.ResponseBytes != dt.ResponseBytes {
+		t.Fatalf("response sizes differ: flat=%v two-level=%v", df.ResponseBytes, dt.ResponseBytes)
+	}
+}

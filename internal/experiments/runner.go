@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Params controls the measurement procedure. The paper warms the system up
+// and then averages over a 10-minute span with 5-second Ganglia samples.
+type Params struct {
+	Warmup   float64
+	Window   float64
+	Interval float64
+}
+
+// PaperParams is the measurement configuration the paper used.
+func PaperParams() Params {
+	return Params{Warmup: 60, Window: 600, Interval: 5}
+}
+
+// QuickParams is a shortened window for unit tests.
+func QuickParams() Params {
+	return Params{Warmup: 30, Window: 120, Interval: 5}
+}
+
+// Point is one measured configuration: the four panel values the paper
+// plots for every x.
+type Point struct {
+	X            int
+	Throughput   float64 // queries/sec (Figures 5, 9, 13, 17)
+	ResponseTime float64 // seconds (Figures 6, 10, 14, 18)
+	Load1        float64 // (Figures 7, 11, 15, 19)
+	CPULoad      float64 // percent (Figures 8, 12, 16, 20)
+	Completed    int
+	Refusals     int
+	Failed       bool // configuration crashed (paper's hard limits)
+}
+
+// Series is one labelled curve across x values.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Deployment is a fully built measurement setup for one point.
+type Deployment struct {
+	Env     *sim.Env
+	Testbed *cluster.Testbed
+	// Server receives the measured queries.
+	Server *node.Server
+	// Monitored is the machine whose load the figures report (the
+	// server host).
+	Monitored *cluster.Machine
+	// Clients host the simulated users.
+	Clients []*cluster.Machine
+	// Users is the number of simulated users.
+	Users int
+	// Query performs one logical user query.
+	Query workload.Query
+	// Background, if non-nil, launches auxiliary processes (advertise
+	// streams, registration refreshes) before measurement.
+	Background func()
+}
+
+// Builder constructs a deployment for an x value on a fresh environment,
+// or reports that the configuration cannot run (paper crash limits).
+type Builder func(env *sim.Env, tb *cluster.Testbed, x int) (*Deployment, error)
+
+// RunPoint builds and measures one configuration.
+func RunPoint(build Builder, x int, par Params) Point {
+	env := sim.NewEnv()
+	tb := cluster.NewTestbed(env)
+	dep, err := build(env, tb, x)
+	if err != nil {
+		return Point{X: x, Failed: true}
+	}
+	rec := metrics.NewRecorder(par.Warmup, par.Warmup+par.Window)
+	sampler := metrics.NewSampler(dep.Monitored, par.Warmup, par.Warmup+par.Window, par.Interval)
+	sampler.Start(env)
+	if dep.Background != nil {
+		dep.Background()
+	}
+	pop := workload.NewPopulation(dep.Users, dep.Clients, dep.Server, dep.Query, rec)
+	pop.Start(env)
+	env.Run(par.Warmup + par.Window + 5)
+
+	host := sampler.Result()
+	return Point{
+		X:            x,
+		Throughput:   rec.Throughput(),
+		ResponseTime: rec.MeanResponseTime(),
+		Load1:        host.MeanLoad1,
+		CPULoad:      host.CPUPercent,
+		Completed:    rec.Completed(),
+		Refusals:     rec.Refusals(),
+	}
+}
+
+// RunSeries measures one labelled curve over the given x values.
+func RunSeries(label string, build Builder, xs []int, par Params) Series {
+	s := Series{Label: label}
+	for _, x := range xs {
+		s.Points = append(s.Points, RunPoint(build, x, par))
+	}
+	return s
+}
+
+// UserCounts is the x axis of the paper's user-scaling experiments
+// (Figures 5–12).
+var UserCounts = []int{1, 10, 50, 100, 200, 300, 400, 500, 600}
+
+// CollectorCounts is the x axis of Experiment Set 3 (Figures 13–16).
+var CollectorCounts = []int{10, 30, 50, 70, 90}
+
+// FormatSeries renders a set of curves as aligned text tables, one row per
+// x, matching the paper's four panels.
+func FormatSeries(title, xLabel string, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	for _, panel := range []struct {
+		name string
+		get  func(Point) float64
+	}{
+		{"Throughput (queries/sec)", func(p Point) float64 { return p.Throughput }},
+		{"Response Time (sec)", func(p Point) float64 { return p.ResponseTime }},
+		{"Load1", func(p Point) float64 { return p.Load1 }},
+		{"CPU Load (%)", func(p Point) float64 { return p.CPULoad }},
+	} {
+		fmt.Fprintf(&sb, "\n-- %s --\n", panel.name)
+		fmt.Fprintf(&sb, "%-8s", xLabel)
+		for _, s := range series {
+			fmt.Fprintf(&sb, " %28s", s.Label)
+		}
+		sb.WriteByte('\n')
+		if len(series) == 0 {
+			continue
+		}
+		for _, x := range unionX(series) {
+			fmt.Fprintf(&sb, "%-8d", x)
+			for _, s := range series {
+				p := pointAtX(s, x)
+				if p == nil {
+					fmt.Fprintf(&sb, " %28s", "-")
+				} else if p.Failed {
+					fmt.Fprintf(&sb, " %28s", "crash")
+				} else {
+					fmt.Fprintf(&sb, " %28.2f", panel.get(*p))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// unionX returns the sorted union of x values across all series.
+func unionX(series []Series) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				out = append(out, p.X)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func pointAtX(s Series, x int) *Point {
+	for i := range s.Points {
+		if s.Points[i].X == x {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}
+
+// CSV renders the series as comma-separated values with one row per
+// (series, x) pair.
+func CSV(series []Series) string {
+	var sb strings.Builder
+	sb.WriteString("series,x,throughput,response_time,load1,cpu_load,completed,refusals,failed\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s,%d,%.4f,%.4f,%.4f,%.4f,%d,%d,%v\n",
+				s.Label, p.X, p.Throughput, p.ResponseTime, p.Load1, p.CPULoad,
+				p.Completed, p.Refusals, p.Failed)
+		}
+	}
+	return sb.String()
+}

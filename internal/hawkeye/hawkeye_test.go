@@ -1,0 +1,294 @@
+package hawkeye
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func TestDefaultModulesCount(t *testing.T) {
+	ms := DefaultModules()
+	if len(ms) != 11 {
+		t.Fatalf("default modules = %d, want 11 (standard Hawkeye install)", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name] {
+			t.Fatalf("duplicate module %q", m.Name)
+		}
+		seen[m.Name] = true
+		if ad := m.Collect("lucky4", 0); ad.Len() == 0 {
+			t.Fatalf("module %q produced empty ad", m.Name)
+		}
+	}
+}
+
+func TestVmstatModuleCopiesDistinct(t *testing.T) {
+	ms := VmstatModuleCopies(5)
+	a := ms[0].Collect("h", 0)
+	b := ms[1].Collect("h", 0)
+	for _, name := range a.Names() {
+		if _, ok := b.Lookup(name); ok {
+			t.Fatalf("module copies share attribute %q; Startd ad would not grow", name)
+		}
+	}
+}
+
+func newDefaultAgent(t *testing.T) *Agent {
+	t.Helper()
+	a := NewAgent("lucky4", 30)
+	if err := a.AddModules(DefaultModules()); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAgentStartdAdIntegratesModules(t *testing.T) {
+	a := newDefaultAgent(t)
+	ad, st := a.StartdAd(0)
+	if st.ModulesCollected != 11 {
+		t.Fatalf("collected %d modules, want 11", st.ModulesCollected)
+	}
+	if v := ad.Eval("Name"); !v.SameAs(classad.Str("lucky4")) {
+		t.Fatalf("Name = %v", v)
+	}
+	if v := ad.Eval("OpSys"); !v.SameAs(classad.Str("LINUX")) {
+		t.Fatalf("OpSys = %v (module ads not merged)", v)
+	}
+	if ad.Eval("CpuLoad").IsUndefined() {
+		t.Fatal("CpuLoad missing from Startd ad")
+	}
+}
+
+func TestAgentModuleLimit(t *testing.T) {
+	a := NewAgent("lucky4", 30)
+	blank := func(string, float64) *classad.Ad { return classad.NewAd() }
+	for i := 0; i < MaxModules; i++ {
+		if err := a.AddModule(&Module{Name: fmt.Sprintf("m%d", i), Collect: blank}); err != nil {
+			t.Fatalf("module %d rejected: %v", i, err)
+		}
+	}
+	err := a.AddModule(&Module{Name: "m99", Collect: blank})
+	if err == nil {
+		t.Fatal("99th module accepted; the Startd should crash")
+	}
+	if _, ok := err.(ErrStartdCrash); !ok {
+		t.Fatalf("error type %T, want ErrStartdCrash", err)
+	}
+}
+
+func TestAgentQueryRecollectsEveryTime(t *testing.T) {
+	// The Agent has no resident database: each query re-runs the modules.
+	a := newDefaultAgent(t)
+	for i := 0; i < 3; i++ {
+		_, st := a.Query(float64(i), nil)
+		if st.ModulesCollected != 11 {
+			t.Fatalf("query %d collected %d modules, want 11", i, st.ModulesCollected)
+		}
+	}
+}
+
+func TestAgentQueryConstraint(t *testing.T) {
+	a := newDefaultAgent(t)
+	ad, st := a.Query(0, classad.MustParseExpr("TARGET.CpuLoad >= 0"))
+	if ad == nil || st.AdsReturned != 1 {
+		t.Fatal("satisfiable constraint returned nothing")
+	}
+	ad, st = a.Query(0, classad.MustParseExpr("TARGET.CpuLoad > 100"))
+	if ad != nil || st.AdsReturned != 0 {
+		t.Fatal("unsatisfiable constraint returned an ad")
+	}
+	if st.ModulesCollected != 11 {
+		t.Fatal("non-matching query still pays collection cost")
+	}
+}
+
+func TestAgentQueryModule(t *testing.T) {
+	a := newDefaultAgent(t)
+	ad, st, err := a.QueryModule(0, "disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Eval("FreeDiskMB").IsUndefined() {
+		t.Fatal("disk module ad missing FreeDiskMB")
+	}
+	if st.ModulesCollected != 1 {
+		t.Fatalf("module query collected %d, want 1", st.ModulesCollected)
+	}
+	if _, _, err := a.QueryModule(0, "nope"); err == nil {
+		t.Fatal("unknown module query succeeded")
+	}
+}
+
+func newPool(t *testing.T, nAgents int) (*Manager, []*Agent) {
+	t.Helper()
+	m := NewManager("lucky3", 90)
+	var agents []*Agent
+	for i := 0; i < nAgents; i++ {
+		a := NewAgent(fmt.Sprintf("lucky%d", i+4), 30)
+		if err := a.AddModules(DefaultModules()); err != nil {
+			t.Fatal(err)
+		}
+		ad, _ := a.StartdAd(0)
+		if _, err := m.Update(0, ad); err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	return m, agents
+}
+
+func TestManagerIndexedLookup(t *testing.T) {
+	m, _ := newPool(t, 3)
+	ad, st, ok := m.QueryByName(1, "LUCKY5") // case-insensitive
+	if !ok {
+		t.Fatal("indexed lookup missed")
+	}
+	if v := ad.Eval("Name"); !v.SameAs(classad.Str("lucky5")) {
+		t.Fatalf("Name = %v", v)
+	}
+	if st.AdsScanned != 0 {
+		t.Fatalf("indexed lookup scanned %d ads, want 0", st.AdsScanned)
+	}
+	if _, _, ok := m.QueryByName(1, "nope"); ok {
+		t.Fatal("lookup of unknown machine succeeded")
+	}
+}
+
+func TestManagerScanQuery(t *testing.T) {
+	m, _ := newPool(t, 5)
+	// Worst case from the paper: a constraint no machine meets scans all.
+	ads, st := m.Query(1, classad.MustParseExpr("TARGET.CpuLoad > 1000"))
+	if len(ads) != 0 {
+		t.Fatalf("impossible constraint matched %d", len(ads))
+	}
+	if st.AdsScanned != 5 {
+		t.Fatalf("scanned %d, want 5", st.AdsScanned)
+	}
+	// A satisfiable constraint returns the matching subset.
+	ads, _ = m.Query(1, classad.MustParseExpr("TARGET.OpSys == \"LINUX\""))
+	if len(ads) != 5 {
+		t.Fatalf("matched %d, want 5", len(ads))
+	}
+}
+
+func TestManagerAdExpiry(t *testing.T) {
+	m, agents := newPool(t, 2)
+	// Only lucky4 keeps advertising.
+	ad, _ := agents[0].StartdAd(60)
+	if _, err := m.Update(60, ad); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NumMachines(120); n != 1 {
+		t.Fatalf("machines after expiry = %d, want 1", n)
+	}
+	if names := m.Machines(120); len(names) != 1 || names[0] != "lucky4" {
+		t.Fatalf("survivors = %v", names)
+	}
+}
+
+func TestManagerTriggerFiresOnUpdate(t *testing.T) {
+	m := NewManager("mgr", 0)
+	var fired []string
+	tr := &Trigger{
+		Name: "high-cpu",
+		Ad:   classad.NewAd(),
+		Fire: func(machine string, ad *classad.Ad) { fired = append(fired, machine) },
+	}
+	tr.Ad.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad > 50"))
+	if n := m.SubmitTrigger(0, tr); n != 0 {
+		t.Fatalf("trigger fired %d times on empty pool", n)
+	}
+	busy := classad.NewAd()
+	busy.SetString("Name", "lucky6")
+	busy.SetReal("CpuLoad", 80)
+	if _, err := m.Update(1, busy); err != nil {
+		t.Fatal(err)
+	}
+	idle := classad.NewAd()
+	idle.SetString("Name", "lucky7")
+	idle.SetReal("CpuLoad", 5)
+	if _, err := m.Update(1, idle); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != "lucky6" {
+		t.Fatalf("fired = %v, want [lucky6]", fired)
+	}
+}
+
+func TestManagerTriggerOnSubmitMatchesExisting(t *testing.T) {
+	m, _ := newPool(t, 4)
+	tr := &Trigger{Name: "all-linux", Ad: classad.NewAd()}
+	tr.Ad.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.OpSys == \"LINUX\""))
+	if n := m.SubmitTrigger(1, tr); n != 4 {
+		t.Fatalf("trigger fired %d, want 4", n)
+	}
+	if !m.RemoveTrigger("all-linux") {
+		t.Fatal("remove failed")
+	}
+	if m.RemoveTrigger("all-linux") {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestManagerUpdateRequiresName(t *testing.T) {
+	m := NewManager("mgr", 0)
+	if _, err := m.Update(0, classad.NewAd()); err == nil {
+		t.Fatal("nameless ad accepted")
+	}
+}
+
+func TestManagerAgentAddress(t *testing.T) {
+	m, _ := newPool(t, 1)
+	addr, ok := m.AgentAddress(1, "lucky4")
+	if !ok || addr == "" {
+		t.Fatal("agent address lookup failed")
+	}
+	if _, ok := m.AgentAddress(1, "nowhere"); ok {
+		t.Fatal("unknown agent resolved")
+	}
+}
+
+func TestManagerUpdateReplacesAd(t *testing.T) {
+	m := NewManager("mgr", 0)
+	ad1 := classad.NewAd()
+	ad1.SetString("Name", "host1")
+	ad1.SetReal("CpuLoad", 10)
+	ad2 := classad.NewAd()
+	ad2.SetString("Name", "host1")
+	ad2.SetReal("CpuLoad", 90)
+	if _, err := m.Update(0, ad1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(1, ad2); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NumMachines(2); n != 1 {
+		t.Fatalf("machines = %d, want 1", n)
+	}
+	got, _, _ := m.QueryByName(2, "host1")
+	if v := got.Eval("CpuLoad"); !v.SameAs(classad.Real(90)) {
+		t.Fatalf("CpuLoad = %v, want 90", v)
+	}
+}
+
+func TestStartdAdGrowsWithModules(t *testing.T) {
+	small := NewAgent("h", 30)
+	if err := small.AddModules(DefaultModules()); err != nil {
+		t.Fatal(err)
+	}
+	big := NewAgent("h", 30)
+	if err := big.AddModules(DefaultModules()); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.AddModules(VmstatModuleCopies(79)); err != nil {
+		t.Fatal(err)
+	}
+	sAd, _ := small.StartdAd(0)
+	bAd, _ := big.StartdAd(0)
+	if bAd.SizeBytes() <= sAd.SizeBytes() {
+		t.Fatalf("90-module ad (%dB) not larger than 11-module ad (%dB)",
+			bAd.SizeBytes(), sAd.SizeBytes())
+	}
+}

@@ -1,0 +1,197 @@
+package hawkeye
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classad"
+)
+
+// Trigger pairs a Trigger ClassAd with the job to run on a match — the
+// paper's example is a trigger for CpuLoad > 50 whose job kills Netscape
+// on the matched machine.
+type Trigger struct {
+	Name string
+	Ad   *classad.Ad
+	// Fire is invoked for each Startd ClassAd the trigger matches. The
+	// string is the matched machine's Name attribute.
+	Fire func(machine string, ad *classad.Ad)
+}
+
+// Manager is the head computer of a Hawkeye Pool: it collects Startd
+// ClassAds from registered Agents into an indexed resident database,
+// answers status queries about pool members, and performs ClassAd
+// Matchmaking between submitted Trigger ClassAds and Startd ClassAds.
+type Manager struct {
+	Name string
+	// AdLifetime expires pool members that stop advertising. Zero means
+	// ads never expire.
+	AdLifetime float64
+
+	ads      map[string]*machineAd // indexed by lowercase machine name
+	order    []string
+	triggers []*Trigger
+}
+
+type machineAd struct {
+	name    string
+	ad      *classad.Ad
+	expires float64
+}
+
+// NewManager creates an empty Manager.
+func NewManager(name string, adLifetime float64) *Manager {
+	return &Manager{Name: name, AdLifetime: adLifetime, ads: make(map[string]*machineAd)}
+}
+
+// NumMachines reports the number of live pool members at time now.
+func (m *Manager) NumMachines(now float64) int {
+	m.expire(now)
+	return len(m.ads)
+}
+
+// Update ingests a Startd ClassAd (the hawkeye_advertise path). The ad
+// must carry a Name attribute identifying the machine. Matching triggers
+// fire immediately. It returns the number of triggers fired.
+func (m *Manager) Update(now float64, ad *classad.Ad) (int, error) {
+	nameV := ad.Eval("Name")
+	name, ok := nameV.StringVal()
+	if !ok || name == "" {
+		return 0, fmt.Errorf("hawkeye: advertised ad has no Name")
+	}
+	key := lower(name)
+	rec, exists := m.ads[key]
+	if !exists {
+		rec = &machineAd{name: name}
+		m.ads[key] = rec
+		m.order = append(m.order, key)
+	}
+	rec.ad = ad
+	rec.expires = now + m.AdLifetime
+	fired := 0
+	for _, tr := range m.triggers {
+		if classad.Match(tr.Ad, ad) {
+			fired++
+			if tr.Fire != nil {
+				tr.Fire(name, ad)
+			}
+		}
+	}
+	return fired, nil
+}
+
+// expire drops pool members whose ads lapsed.
+func (m *Manager) expire(now float64) {
+	if m.AdLifetime <= 0 {
+		return
+	}
+	kept := m.order[:0]
+	for _, key := range m.order {
+		if now >= m.ads[key].expires {
+			delete(m.ads, key)
+			continue
+		}
+		kept = append(kept, key)
+	}
+	m.order = kept
+}
+
+// QueryByName answers a pool-member status query through the name index —
+// no scan, the "indexed resident database" advantage the paper credits for
+// the Manager's efficiency.
+func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats, bool) {
+	m.expire(now)
+	rec, ok := m.ads[lower(name)]
+	if !ok {
+		return nil, QueryStats{}, false
+	}
+	st := QueryStats{AdsReturned: 1, ResponseBytes: rec.ad.SizeBytes()}
+	return rec.ad, st, true
+}
+
+// Query scans every Startd ClassAd and returns those matching the
+// constraint expression. A nil constraint returns everything. The paper's
+// worst case — a constraint met by no machine — still scans the full pool.
+func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, QueryStats) {
+	m.expire(now)
+	var st QueryStats
+	var out []*classad.Ad
+	empty := classad.NewAd()
+	for _, key := range m.order {
+		rec := m.ads[key]
+		st.AdsScanned++
+		if constraint != nil {
+			v := classad.EvalExprAgainst(constraint, empty, rec.ad)
+			if b, ok := v.BoolVal(); !ok || !b {
+				continue
+			}
+		}
+		out = append(out, rec.ad)
+		st.AdsReturned++
+		st.ResponseBytes += rec.ad.SizeBytes()
+	}
+	return out, st
+}
+
+// SubmitTrigger installs a Trigger ClassAd. Matchmaking runs against the
+// current pool immediately (returning the fire count) and then on every
+// subsequent Update.
+func (m *Manager) SubmitTrigger(now float64, tr *Trigger) int {
+	m.expire(now)
+	m.triggers = append(m.triggers, tr)
+	fired := 0
+	for _, key := range m.order {
+		rec := m.ads[key]
+		if classad.Match(tr.Ad, rec.ad) {
+			fired++
+			if tr.Fire != nil {
+				tr.Fire(rec.name, rec.ad)
+			}
+		}
+	}
+	return fired
+}
+
+// RemoveTrigger uninstalls the named trigger, reporting whether it existed.
+func (m *Manager) RemoveTrigger(name string) bool {
+	for i, tr := range m.triggers {
+		if tr.Name == name {
+			m.triggers = append(m.triggers[:i], m.triggers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Machines lists live pool-member names in sorted order.
+func (m *Manager) Machines(now float64) []string {
+	m.expire(now)
+	out := make([]string, 0, len(m.order))
+	for _, key := range m.order {
+		out = append(out, m.ads[key].name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AgentAddress resolves a pool member's contact address. Clients querying
+// an Agent directly must first ask the Manager for the Agent's address,
+// the two-step lookup the paper describes.
+func (m *Manager) AgentAddress(now float64, name string) (string, bool) {
+	m.expire(now)
+	rec, ok := m.ads[lower(name)]
+	if !ok {
+		return "", false
+	}
+	return rec.name + ":hawkeye-agent", true
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

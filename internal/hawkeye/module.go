@@ -1,0 +1,121 @@
+// Package hawkeye implements Condor's Hawkeye monitoring tool: Modules
+// (sensors advertising ClassAds), Agents (which fold Module ClassAds into
+// a single Startd ClassAd and push it to a Manager at fixed intervals),
+// and the Manager (an indexed resident ClassAd database answering queries
+// and matching Trigger ClassAds). It is built on the classad package.
+package hawkeye
+
+import (
+	"fmt"
+
+	"repro/internal/classad"
+)
+
+// Module is a Hawkeye sensor: it advertises resource information as a
+// ClassAd. ExecWeight scales the testbed's per-collection cost (1.0 = the
+// default "vmstat"-class module).
+type Module struct {
+	Name       string
+	ExecWeight float64
+	// Collect produces the module's ClassAd for host at time now.
+	Collect func(host string, now float64) *classad.Ad
+}
+
+// numAttr formats a float sensor reading.
+func numAttr(ad *classad.Ad, name string, v float64) { ad.SetReal(name, v) }
+
+// DefaultModules returns the eleven modules of a standard Hawkeye install
+// (the paper: "Hawkeye uses 11 Modules in a standard install").
+func DefaultModules() []*Module {
+	mk := func(name string, collect func(host string, now float64) *classad.Ad) *Module {
+		return &Module{Name: name, ExecWeight: 1.0, Collect: collect}
+	}
+	simple := func(name string, fill func(ad *classad.Ad, host string, now float64)) *Module {
+		return mk(name, func(host string, now float64) *classad.Ad {
+			ad := classad.NewAd()
+			fill(ad, host, now)
+			return ad
+		})
+	}
+	return []*Module{
+		simple("vmstat", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "CpuLoad", 100*noise(now, host, 1))
+			numAttr(ad, "CpuIdle", 100*(1-noise(now, host, 1)))
+			numAttr(ad, "SwapUsedMB", 200*noise(now, host, 2))
+		}),
+		simple("memory", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "MemTotalMB", 512)
+			numAttr(ad, "MemFreeMB", 100+300*noise(now, host, 3))
+		}),
+		simple("disk", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "FreeDiskMB", 10000+20000*noise(now, host, 4))
+			numAttr(ad, "TotalDiskMB", 40000)
+		}),
+		simple("network", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "NetRxKBs", 1000*noise(now, host, 5))
+			numAttr(ad, "NetTxKBs", 1000*noise(now, host, 6))
+		}),
+		simple("load", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "LoadAvg1", 2*noise(now, host, 7))
+			numAttr(ad, "LoadAvg5", 2*noise(now, host, 8))
+			numAttr(ad, "LoadAvg15", 2*noise(now, host, 9))
+		}),
+		simple("uptime", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "UptimeSeconds", now+86400)
+		}),
+		simple("users", func(ad *classad.Ad, host string, now float64) {
+			ad.SetInt("LoggedInUsers", int64(1+5*noise(now, host, 10)))
+		}),
+		simple("processes", func(ad *classad.Ad, host string, now float64) {
+			ad.SetInt("ProcessCount", int64(40+100*noise(now, host, 11)))
+			ad.SetInt("ZombieCount", int64(3*noise(now, host, 12)))
+		}),
+		simple("os", func(ad *classad.Ad, host string, now float64) {
+			ad.SetString("OpSys", "LINUX")
+			ad.SetString("KernelVersion", "2.4.10")
+		}),
+		simple("condor", func(ad *classad.Ad, host string, now float64) {
+			ad.SetString("CondorVersion", "6.4.7")
+			ad.SetBool("CondorRunning", true)
+		}),
+		simple("tmpfiles", func(ad *classad.Ad, host string, now float64) {
+			numAttr(ad, "TmpUsedMB", 500*noise(now, host, 13))
+		}),
+	}
+}
+
+// VmstatModuleCopies returns n additional instances of the vmstat module,
+// the way the paper scaled an Agent to 90 Modules in Experiment Set 3.
+// Each instance publishes under distinct attribute names so the Startd
+// ClassAd grows with the module count.
+func VmstatModuleCopies(n int) []*Module {
+	out := make([]*Module, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		out = append(out, &Module{
+			Name:       fmt.Sprintf("vmstat-%02d", i),
+			ExecWeight: 1.0,
+			Collect: func(host string, now float64) *classad.Ad {
+				ad := classad.NewAd()
+				numAttr(ad, fmt.Sprintf("CpuLoad_%02d", i), 100*noise(now, host, uint64(100+i)))
+				numAttr(ad, fmt.Sprintf("SwapUsedMB_%02d", i), 200*noise(now, host, uint64(200+i)))
+				return ad
+			},
+		})
+	}
+	return out
+}
+
+// noise is a deterministic stand-in for sensor variation in [0,1).
+func noise(now float64, host string, stream uint64) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(host); i++ {
+		h = (h ^ uint64(host[i])) * 1099511628211
+	}
+	h ^= stream * 0x9e3779b97f4a7c15
+	h ^= uint64(int64(now)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

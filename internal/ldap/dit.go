@@ -1,0 +1,238 @@
+package ldap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scope selects how much of the tree a search covers, mirroring LDAP.
+type Scope int
+
+const (
+	// ScopeBase searches only the base entry.
+	ScopeBase Scope = iota
+	// ScopeOne searches the base entry's immediate children.
+	ScopeOne
+	// ScopeSub searches the base entry and its whole subtree.
+	ScopeSub
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeBase:
+		return "base"
+	case ScopeOne:
+		return "one"
+	case ScopeSub:
+		return "sub"
+	}
+	return "invalid"
+}
+
+// DIT is a Directory Information Tree — the in-memory backend a GRIS or
+// GIIS serves from. It is not safe for concurrent mutation; the services
+// built on it serialize access the way a single slapd backend does.
+type DIT struct {
+	entries  map[string]*Entry   // normalized DN -> entry
+	children map[string][]string // normalized parent DN -> child keys, insertion order
+}
+
+// NewDIT returns an empty tree containing only the implicit root.
+func NewDIT() *DIT {
+	return &DIT{
+		entries:  make(map[string]*Entry),
+		children: make(map[string][]string),
+	}
+}
+
+// Len reports the number of entries.
+func (t *DIT) Len() int { return len(t.entries) }
+
+// Add inserts an entry. The parent must already exist unless the entry is
+// a suffix (depth-1) entry or its parent chain is missing entirely — MDS
+// creates suffix entries like "Mds-Vo-name=local, o=grid" directly, so any
+// missing ancestors are created as empty structural entries.
+func (t *DIT) Add(e *Entry) error {
+	key := e.DN.Norm()
+	if key == "" {
+		return fmt.Errorf("ldap: cannot add entry with empty DN")
+	}
+	if _, exists := t.entries[key]; exists {
+		return fmt.Errorf("ldap: entry %q already exists", e.DN)
+	}
+	// Materialize missing ancestors as structural glue entries.
+	for depth := 1; depth < e.DN.Depth(); depth++ {
+		anc := DN(e.DN[e.DN.Depth()-depth:])
+		if _, ok := t.entries[anc.Norm()]; !ok {
+			glue := NewEntry(anc)
+			glue.Set("objectclass", "MdsStructure")
+			t.link(glue)
+		}
+	}
+	t.link(e)
+	return nil
+}
+
+func (t *DIT) link(e *Entry) {
+	key := e.DN.Norm()
+	t.entries[key] = e
+	parent := e.DN.Parent().Norm()
+	t.children[parent] = append(t.children[parent], key)
+}
+
+// Upsert inserts or replaces the entry at its DN.
+func (t *DIT) Upsert(e *Entry) {
+	key := e.DN.Norm()
+	if old, ok := t.entries[key]; ok {
+		// Keep tree links, replace content.
+		*old = *e.Clone()
+		old.DN = e.DN
+		return
+	}
+	if err := t.Add(e); err != nil {
+		// Add only fails for duplicates (checked) or empty DN.
+		panic(err)
+	}
+}
+
+// Get returns the entry at dn.
+func (t *DIT) Get(dn DN) (*Entry, bool) {
+	e, ok := t.entries[dn.Norm()]
+	return e, ok
+}
+
+// Delete removes the entry at dn and its entire subtree, returning the
+// number of entries removed.
+func (t *DIT) Delete(dn DN) int {
+	key := dn.Norm()
+	if _, ok := t.entries[key]; !ok {
+		return 0
+	}
+	removed := 0
+	var rec func(k string)
+	rec = func(k string) {
+		for _, c := range t.children[k] {
+			rec(c)
+		}
+		delete(t.children, k)
+		if _, ok := t.entries[k]; ok {
+			delete(t.entries, k)
+			removed++
+		}
+	}
+	rec(key)
+	// Unlink from parent.
+	parent := dn.Parent().Norm()
+	kids := t.children[parent]
+	for i, c := range kids {
+		if c == key {
+			t.children[parent] = append(kids[:i], kids[i+1:]...)
+			break
+		}
+	}
+	return removed
+}
+
+// Children returns the immediate child entries of dn in insertion order.
+func (t *DIT) Children(dn DN) []*Entry {
+	keys := t.children[dn.Norm()]
+	out := make([]*Entry, 0, len(keys))
+	for _, k := range keys {
+		if e, ok := t.entries[k]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Search walks the tree from base with the given scope and returns entries
+// matching filter, in deterministic (depth-first insertion) order. A nil
+// filter matches everything. The returned visited count is the number of
+// entries examined — the quantity the testbed charges CPU for.
+func (t *DIT) Search(base DN, scope Scope, filter Filter) (results []*Entry, visited int) {
+	baseEntry, ok := t.Get(base)
+	if !ok && base.Depth() > 0 {
+		return nil, 0
+	}
+	match := func(e *Entry) {
+		visited++
+		if filter == nil || filter.Matches(e) {
+			results = append(results, e)
+		}
+	}
+	switch scope {
+	case ScopeBase:
+		if baseEntry != nil {
+			match(baseEntry)
+		}
+	case ScopeOne:
+		for _, c := range t.Children(base) {
+			match(c)
+		}
+	case ScopeSub:
+		var rec func(dnKey string)
+		rec = func(dnKey string) {
+			if e, ok := t.entries[dnKey]; ok {
+				match(e)
+			}
+			for _, c := range t.children[dnKey] {
+				rec(c)
+			}
+		}
+		if base.Depth() == 0 {
+			// Whole tree: every suffix under the root.
+			for _, c := range t.children[""] {
+				rec(c)
+			}
+		} else {
+			rec(base.Norm())
+		}
+	}
+	return results, visited
+}
+
+// DNs returns every entry DN in sorted normalized order, for stable test
+// assertions.
+func (t *DIT) DNs() []string {
+	out := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeBytes estimates the LDIF size of a result set.
+func SizeBytes(entries []*Entry) int {
+	n := 0
+	for _, e := range entries {
+		n += e.SizeBytes() + 1
+	}
+	return n
+}
+
+// ProjectAll applies Entry.Project to each entry when attrs is non-empty,
+// returning the originals otherwise.
+func ProjectAll(entries []*Entry, attrs []string) []*Entry {
+	if len(attrs) == 0 {
+		return entries
+	}
+	out := make([]*Entry, len(entries))
+	for i, e := range entries {
+		out[i] = e.Project(attrs)
+	}
+	return out
+}
+
+// FormatResults renders a result set as concatenated LDIF records.
+func FormatResults(entries []*Entry) string {
+	var sb strings.Builder
+	for i, e := range entries {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(e.LDIF())
+	}
+	return sb.String()
+}

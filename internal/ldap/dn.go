@@ -1,0 +1,109 @@
+// Package ldap implements the directory engine underneath MDS: a
+// hierarchical Directory Information Tree of attribute-valued entries,
+// RFC 1960-style search filters, and base/one-level/subtree search. MDS 2.1
+// was built on OpenLDAP; this package supplies the same data model and
+// query semantics without the wire protocol.
+package ldap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RDN is a single relative distinguished name component, attr=value.
+type RDN struct {
+	Attr  string
+	Value string
+}
+
+// String renders the RDN as attr=value.
+func (r RDN) String() string { return r.Attr + "=" + r.Value }
+
+// norm returns the case-normalized comparison form.
+func (r RDN) norm() string {
+	return strings.ToLower(r.Attr) + "=" + strings.ToLower(strings.TrimSpace(r.Value))
+}
+
+// DN is a distinguished name: RDNs ordered leaf-first, as in
+// "Mds-Host-hn=lucky7, Mds-Vo-name=local, o=grid".
+type DN []RDN
+
+// ParseDN parses a comma-separated DN. The empty string is the root DN.
+func ParseDN(s string) (DN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	dn := make(DN, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		eq := strings.IndexByte(part, '=')
+		if eq <= 0 || eq == len(part)-1 {
+			return nil, fmt.Errorf("ldap: bad RDN %q in DN %q", part, s)
+		}
+		dn = append(dn, RDN{
+			Attr:  strings.TrimSpace(part[:eq]),
+			Value: strings.TrimSpace(part[eq+1:]),
+		})
+	}
+	return dn, nil
+}
+
+// MustParseDN is ParseDN that panics on error, for statically known DNs.
+func MustParseDN(s string) DN {
+	dn, err := ParseDN(s)
+	if err != nil {
+		panic(err)
+	}
+	return dn
+}
+
+// String renders the DN in the usual leaf-first comma form.
+func (d DN) String() string {
+	parts := make([]string, len(d))
+	for i, r := range d {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Norm returns the case-normalized comparison key for the DN.
+func (d DN) Norm() string {
+	parts := make([]string, len(d))
+	for i, r := range d {
+		parts[i] = r.norm()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parent returns the DN with the leaf RDN removed; the parent of a
+// single-RDN DN (or the root) is the root DN.
+func (d DN) Parent() DN {
+	if len(d) == 0 {
+		return nil
+	}
+	return d[1:]
+}
+
+// Child returns the DN extended with a new leaf RDN.
+func (d DN) Child(attr, value string) DN {
+	child := make(DN, 0, len(d)+1)
+	child = append(child, RDN{Attr: attr, Value: value})
+	child = append(child, d...)
+	return child
+}
+
+// Depth reports the number of RDNs.
+func (d DN) Depth() int { return len(d) }
+
+// Equal reports case-insensitive equality of two DNs.
+func (d DN) Equal(o DN) bool { return d.Norm() == o.Norm() }
+
+// IsDescendantOf reports whether d lies strictly under ancestor.
+func (d DN) IsDescendantOf(ancestor DN) bool {
+	if len(d) <= len(ancestor) {
+		return false
+	}
+	return DN(d[len(d)-len(ancestor):]).Norm() == ancestor.Norm()
+}

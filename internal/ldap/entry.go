@@ -1,0 +1,131 @@
+package ldap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is a directory entry: a DN plus multi-valued attributes. Attribute
+// names are case-insensitive; the first spelling is preserved for output.
+type Entry struct {
+	DN    DN
+	attrs map[string]*attrValues
+	order []string // lowercase attribute keys in insertion order
+}
+
+type attrValues struct {
+	name   string
+	values []string
+}
+
+// NewEntry returns an empty entry at dn.
+func NewEntry(dn DN) *Entry {
+	return &Entry{DN: dn, attrs: make(map[string]*attrValues)}
+}
+
+// Add appends a value to an attribute.
+func (e *Entry) Add(attr, value string) {
+	key := strings.ToLower(attr)
+	av, ok := e.attrs[key]
+	if !ok {
+		av = &attrValues{name: attr}
+		e.attrs[key] = av
+		e.order = append(e.order, key)
+	}
+	av.values = append(av.values, value)
+}
+
+// Set replaces an attribute's values.
+func (e *Entry) Set(attr string, values ...string) {
+	key := strings.ToLower(attr)
+	if av, ok := e.attrs[key]; ok {
+		av.values = append([]string(nil), values...)
+		return
+	}
+	e.attrs[key] = &attrValues{name: attr, values: append([]string(nil), values...)}
+	e.order = append(e.order, key)
+}
+
+// Get returns the attribute's values (nil when absent).
+func (e *Entry) Get(attr string) []string {
+	if av, ok := e.attrs[strings.ToLower(attr)]; ok {
+		return av.values
+	}
+	return nil
+}
+
+// First returns the attribute's first value, or "".
+func (e *Entry) First(attr string) string {
+	vs := e.Get(attr)
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// Has reports whether the attribute is present with at least one value.
+func (e *Entry) Has(attr string) bool { return len(e.Get(attr)) > 0 }
+
+// Attributes returns attribute names (original spelling) in insertion
+// order.
+func (e *Entry) Attributes() []string {
+	out := make([]string, 0, len(e.order))
+	for _, k := range e.order {
+		out = append(out, e.attrs[k].name)
+	}
+	return out
+}
+
+// Project returns a copy of the entry keeping only the named attributes.
+// MDS "query part" requests use this to return a slice of each entry.
+func (e *Entry) Project(attrs []string) *Entry {
+	out := NewEntry(e.DN)
+	want := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		want[strings.ToLower(a)] = true
+	}
+	for _, k := range e.order {
+		if want[k] {
+			av := e.attrs[k]
+			out.Set(av.name, av.values...)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the entry.
+func (e *Entry) Clone() *Entry {
+	out := NewEntry(e.DN)
+	for _, k := range e.order {
+		av := e.attrs[k]
+		out.Set(av.name, av.values...)
+	}
+	return out
+}
+
+// LDIF renders the entry in LDIF-like form, the unit of the testbed's
+// response-size model.
+func (e *Entry) LDIF() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dn: %s\n", e.DN)
+	for _, k := range e.order {
+		av := e.attrs[k]
+		for _, v := range av.values {
+			fmt.Fprintf(&sb, "%s: %s\n", av.name, v)
+		}
+	}
+	return sb.String()
+}
+
+// SizeBytes estimates the entry's wire size.
+func (e *Entry) SizeBytes() int { return len(e.LDIF()) }
+
+// SortedAttributes returns attribute names sorted case-insensitively.
+func (e *Entry) SortedAttributes() []string {
+	out := e.Attributes()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i]) < strings.ToLower(out[j])
+	})
+	return out
+}

@@ -1,0 +1,162 @@
+// Package liveops wires the three monitoring services to the live
+// transport's operation namespace. cmd/gridmon-live uses it to serve real
+// TCP clients; tests exercise the same wiring in-process.
+package liveops
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/classad"
+	"repro/internal/hawkeye"
+	"repro/internal/ldap"
+	"repro/internal/mds"
+	"repro/internal/rgma"
+	"repro/internal/transport"
+)
+
+// Deployment is the set of live services the operations dispatch to.
+type Deployment struct {
+	GIIS     *mds.GIIS
+	Registry *rgma.Registry
+	Consumer *rgma.ConsumerServlet
+	Manager  *hawkeye.Manager
+	// Now supplies the services' notion of time (wall seconds since
+	// start in the live server, simulation time in tests).
+	Now func() float64
+}
+
+// Register installs every operation on the server:
+//
+//	mds.query      params: filter (RFC 1960), attrs (comma-separated)
+//	mds.hosts      list registered hosts
+//	rgma.query     params: sql (SELECT)
+//	rgma.tables    list advertised tables
+//	hawkeye.query  params: constraint (ClassAd expression)
+//	hawkeye.pool   list pool members
+func Register(srv *transport.Server, dep Deployment) {
+	now := dep.Now
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+	srv.Handle("mds.query", func(req transport.Request) transport.Response {
+		var filter ldap.Filter
+		if f := req.Params["filter"]; f != "" {
+			var err error
+			filter, err = ldap.ParseFilter(f)
+			if err != nil {
+				return transport.Response{Error: err.Error()}
+			}
+		}
+		var attrs []string
+		if a := req.Params["attrs"]; a != "" {
+			attrs = strings.Split(a, ",")
+		}
+		entries, _, err := dep.GIIS.Query(now(), filter, attrs)
+		if err != nil {
+			return transport.Response{Error: err.Error()}
+		}
+		return transport.Response{OK: true, Payload: ldap.FormatResults(entries)}
+	})
+	srv.Handle("mds.hosts", func(transport.Request) transport.Response {
+		return transport.Response{OK: true, Payload: strings.Join(dep.GIIS.Hosts(now()), "\n")}
+	})
+	srv.Handle("rgma.query", func(req transport.Request) transport.Response {
+		sql := req.Params["sql"]
+		if sql == "" {
+			return transport.Response{Error: "missing sql parameter"}
+		}
+		res, _, err := dep.Consumer.Query(now(), sql)
+		if err != nil {
+			return transport.Response{Error: err.Error()}
+		}
+		var sb strings.Builder
+		sb.WriteString(strings.Join(res.Columns, ","))
+		sb.WriteByte('\n')
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			sb.WriteString(strings.Join(parts, ","))
+			sb.WriteByte('\n')
+		}
+		return transport.Response{OK: true, Payload: sb.String()}
+	})
+	srv.Handle("rgma.tables", func(transport.Request) transport.Response {
+		return transport.Response{OK: true, Payload: strings.Join(dep.Registry.Tables(now()), "\n")}
+	})
+	srv.Handle("hawkeye.query", func(req transport.Request) transport.Response {
+		var constraint classad.Expr
+		if c := req.Params["constraint"]; c != "" {
+			var err error
+			constraint, err = classad.ParseExpr(c)
+			if err != nil {
+				return transport.Response{Error: err.Error()}
+			}
+		}
+		ads, _ := dep.Manager.Query(now(), constraint)
+		var sb strings.Builder
+		for _, ad := range ads {
+			sb.WriteString(ad.Unparse())
+			sb.WriteByte('\n')
+		}
+		return transport.Response{OK: true, Payload: sb.String()}
+	})
+	srv.Handle("hawkeye.pool", func(transport.Request) transport.Response {
+		return transport.Response{OK: true, Payload: strings.Join(dep.Manager.Machines(now()), "\n")}
+	})
+}
+
+// BuildDefault assembles a complete live deployment over the given hosts:
+// an MDS hierarchy, an R-GMA mesh (nProducers per host), and a Hawkeye
+// pool — everything cmd/gridmon-live serves.
+func BuildDefault(hosts []string, nProducers int, now func() float64) (Deployment, map[string]*hawkeye.Agent, error) {
+	dep := Deployment{Now: now}
+	dep.GIIS = mds.NewGIIS("giis", 1e12, 1e12)
+	for i, h := range hosts {
+		g := mds.NewGRIS(h, 1e12, mds.DefaultProviders())
+		g.Warm(0)
+		if _, err := dep.GIIS.Register(fmt.Sprintf("gris-%d", i), g, 0); err != nil {
+			return dep, nil, err
+		}
+	}
+	dep.Registry = rgma.NewRegistry("registry")
+	servlets := map[string]*rgma.ProducerServlet{}
+	for _, h := range hosts {
+		addr := h + ":8080"
+		ps := rgma.NewProducerServlet(addr)
+		for i := 0; i < nProducers; i++ {
+			ps.Host(rgma.NewMonitoringProducer(fmt.Sprintf("%s-p%d", h, i), "siteinfo",
+				fmt.Sprintf("%s-sensor%02d", h, i), 5))
+		}
+		servlets[addr] = ps
+		for _, ad := range ps.Advertisements() {
+			if err := dep.Registry.RegisterProducer(ad, 0, 1e12); err != nil {
+				return dep, nil, err
+			}
+		}
+	}
+	dep.Consumer = rgma.NewConsumerServlet("consumer:8080", dep.Registry,
+		func(addr string) (*rgma.ProducerServlet, error) {
+			ps, ok := servlets[addr]
+			if !ok {
+				return nil, fmt.Errorf("liveops: unknown producer servlet %q", addr)
+			}
+			return ps, nil
+		})
+	dep.Manager = hawkeye.NewManager("manager", 0)
+	agents := map[string]*hawkeye.Agent{}
+	for _, h := range hosts {
+		a := hawkeye.NewAgent(h, 30)
+		if err := a.AddModules(hawkeye.DefaultModules()); err != nil {
+			return dep, nil, err
+		}
+		ad, _ := a.StartdAd(0)
+		if _, err := dep.Manager.Update(0, ad); err != nil {
+			return dep, nil, err
+		}
+		agents[h] = a
+	}
+	return dep, agents, nil
+}

@@ -1,0 +1,149 @@
+package liveops
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// startLive boots the full live deployment on a real TCP socket and
+// returns a connected client.
+func startLive(t *testing.T) *transport.Client {
+	t.Helper()
+	dep, _, err := BuildDefault([]string{"lucky3", "lucky4", "lucky7"}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer()
+	Register(srv, dep)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	client, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+func TestLiveMDSQueryOverTCP(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("mds.query", map[string]string{
+		"filter": "(objectclass=MdsCpu)",
+		"attrs":  "Mds-Cpu-Free-1minX100",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "dn: ") != 3 {
+		t.Fatalf("mds.query = %q", out)
+	}
+	if !strings.Contains(out, "Mds-Cpu-Free-1minX100: ") {
+		t.Fatalf("projection missing: %q", out)
+	}
+}
+
+func TestLiveMDSHosts(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("mds.hosts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"lucky3", "lucky4", "lucky7"} {
+		if !strings.Contains(out, h) {
+			t.Fatalf("hosts = %q missing %s", out, h)
+		}
+	}
+}
+
+func TestLiveRGMAQueryOverTCP(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("rgma.query", map[string]string{
+		"sql": "SELECT host, value FROM siteinfo WHERE value >= 0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 3 hosts x 3 producers x 5 metrics.
+	if len(lines) != 1+45 {
+		t.Fatalf("rgma.query returned %d lines", len(lines))
+	}
+	if lines[0] != "host,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestLiveRGMATables(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("rgma.tables", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "siteinfo" {
+		t.Fatalf("tables = %q", out)
+	}
+}
+
+func TestLiveHawkeyeQueryOverTCP(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("hawkeye.query", map[string]string{
+		"constraint": "TARGET.CpuLoad >= 0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "Name = ") != 3 {
+		t.Fatalf("hawkeye.query = %q", out)
+	}
+}
+
+func TestLiveHawkeyePool(t *testing.T) {
+	c := startLive(t)
+	out, err := c.Call("hawkeye.pool", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("pool = %q", out)
+	}
+}
+
+func TestLiveErrorsPropagate(t *testing.T) {
+	c := startLive(t)
+	if _, err := c.Call("mds.query", map[string]string{"filter": "(((broken"}); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	if _, err := c.Call("rgma.query", nil); err == nil {
+		t.Fatal("missing sql accepted")
+	}
+	if _, err := c.Call("rgma.query", map[string]string{"sql": "DELETE FROM siteinfo"}); err == nil {
+		t.Fatal("non-SELECT accepted")
+	}
+	if _, err := c.Call("hawkeye.query", map[string]string{"constraint": "1 +"}); err == nil {
+		t.Fatal("bad constraint accepted")
+	}
+}
+
+func TestLiveOpsComplete(t *testing.T) {
+	dep, _, err := BuildDefault([]string{"h"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer()
+	Register(srv, dep)
+	want := []string{"mds.query", "mds.hosts", "rgma.query", "rgma.tables", "hawkeye.query", "hawkeye.pool"}
+	got := map[string]bool{}
+	for _, op := range srv.Ops() {
+		got[op] = true
+	}
+	for _, op := range want {
+		if !got[op] {
+			t.Errorf("missing op %q", op)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package mds
+
+import (
+	"fmt"
+
+	"repro/internal/ldap"
+)
+
+// Registration limits observed by the paper: the GIIS crashed past 500
+// registered GRIS, and could serve "query all" for at most 200.
+const (
+	// MaxRegistrants is the hard registration cap (the paper's GIIS
+	// crashed when a 501st GRIS registered).
+	MaxRegistrants = 500
+)
+
+// ErrGIISOverload reports that a registration or query exceeded the GIIS's
+// capacity limits, reproducing the crashes the paper ran into.
+type ErrGIISOverload struct{ Msg string }
+
+func (e ErrGIISOverload) Error() string { return "mds: giis overload: " + e.Msg }
+
+// registration is one source's soft-state entry in the GIIS.
+type registration struct {
+	id     string
+	src    Source
+	expiry float64
+	// hostDNs are the host-level subtrees this source contributed, used
+	// for cleanup when the registration lapses; hostOrder keeps listing
+	// deterministic.
+	hostDNs   map[string]ldap.DN
+	hostOrder []string
+}
+
+// GIIS is a Grid Index Information Service: the aggregate directory.
+// Sources — GRIS instances or lower-level GIISs — register with it under a
+// soft-state protocol (registrations expire unless renewed) and the GIIS
+// caches their data, answering queries from the cache while the cache TTL
+// holds (the paper sets cachettl very large so the directory
+// functionality is measured alone).
+type GIIS struct {
+	Name string
+	// CacheTTL governs how long cached source data stays fresh. The
+	// paper's directory-server experiments set this effectively infinite.
+	CacheTTL float64
+	// RegistrationTTL is the soft-state lifetime of a registration.
+	RegistrationTTL float64
+
+	dit       *ldap.DIT
+	regs      map[string]*registration
+	regOrder  []string
+	cacheFill map[string]float64 // registration id -> cache expiry
+}
+
+// NewGIIS creates an empty GIIS.
+func NewGIIS(name string, cacheTTL, registrationTTL float64) *GIIS {
+	return &GIIS{
+		Name:            name,
+		CacheTTL:        cacheTTL,
+		RegistrationTTL: registrationTTL,
+		dit:             ldap.NewDIT(),
+		regs:            make(map[string]*registration),
+		cacheFill:       make(map[string]float64),
+	}
+}
+
+// NumRegistered reports the number of live registrations at time now.
+func (g *GIIS) NumRegistered(now float64) int {
+	g.expire(now)
+	return len(g.regs)
+}
+
+// Register records (or renews) a source registration under the given
+// unique id and pulls its current data into the cache. Both GRIS and GIIS
+// values register, enabling the multi-level hierarchy of the paper's
+// Figure 1. It fails past MaxRegistrants, as the paper's GIIS did.
+func (g *GIIS) Register(id string, src Source, now float64) (QueryStats, error) {
+	g.expire(now)
+	if _, renewing := g.regs[id]; !renewing && len(g.regs) >= MaxRegistrants {
+		return QueryStats{}, ErrGIISOverload{Msg: fmt.Sprintf("registration %q exceeds %d sources", id, MaxRegistrants)}
+	}
+	reg, ok := g.regs[id]
+	if !ok {
+		reg = &registration{id: id, hostDNs: make(map[string]ldap.DN)}
+		g.regs[id] = reg
+		g.regOrder = append(g.regOrder, id)
+	}
+	reg.src = src
+	reg.expiry = now + g.RegistrationTTL
+	return g.fill(reg, now), nil
+}
+
+// hostLevelDN returns the host-level ancestor of dn (one RDN below the
+// MDS suffix), or nil when dn is at or above the suffix.
+func hostLevelDN(dn ldap.DN) ldap.DN {
+	hostDepth := SuffixDN.Depth() + 1
+	if dn.Depth() < hostDepth {
+		return nil
+	}
+	return ldap.DN(dn[dn.Depth()-hostDepth:])
+}
+
+// fill refreshes the cached subtree for one registration, dropping host
+// subtrees the source no longer reports (a downstream resource died and
+// its soft state lapsed below us).
+func (g *GIIS) fill(reg *registration, now float64) QueryStats {
+	var st QueryStats
+	entries := reg.src.Snapshot(now)
+	fresh := make(map[string]ldap.DN)
+	var freshOrder []string
+	for _, e := range entries {
+		g.dit.Upsert(e)
+		st.EntriesVisited++
+		if host := hostLevelDN(e.DN); host != nil {
+			key := host.Norm()
+			if _, ok := fresh[key]; !ok {
+				fresh[key] = host
+				freshOrder = append(freshOrder, key)
+			}
+		}
+	}
+	for key, dn := range reg.hostDNs {
+		if _, stillThere := fresh[key]; !stillThere {
+			g.dit.Delete(dn)
+		}
+	}
+	reg.hostDNs = fresh
+	reg.hostOrder = freshOrder
+	g.cacheFill[reg.id] = now + g.CacheTTL
+	return st
+}
+
+// expire drops registrations whose soft state lapsed, removing their
+// cached subtrees — the "dynamic cleaning of dead resources" the paper
+// describes.
+func (g *GIIS) expire(now float64) {
+	kept := g.regOrder[:0]
+	for _, id := range g.regOrder {
+		reg := g.regs[id]
+		if now >= reg.expiry {
+			for _, dn := range reg.hostDNs {
+				g.dit.Delete(dn)
+			}
+			delete(g.regs, id)
+			delete(g.cacheFill, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	g.regOrder = kept
+}
+
+// Query searches the aggregated directory at time now. Expired cache
+// subtrees are refreshed from their sources first (a no-op when CacheTTL
+// is effectively infinite). A nil filter matches everything; non-empty
+// attrs project each entry ("query part").
+func (g *GIIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
+	g.expire(now)
+	var st QueryStats
+	for _, id := range g.regOrder {
+		if now >= g.cacheFill[id] {
+			st.Add(g.fill(g.regs[id], now))
+		}
+	}
+	results, visited := g.dit.Search(SuffixDN, ldap.ScopeSub, filter)
+	// Structural glue entries materialized for tree shape are not data.
+	data := results[:0]
+	for _, e := range results {
+		if e.First("objectclass") != "MdsStructure" {
+			data = append(data, e)
+		}
+	}
+	results = ldap.ProjectAll(data, attrs)
+	st.EntriesVisited += visited
+	st.EntriesReturned += len(results)
+	st.ResponseBytes += ldap.SizeBytes(results)
+	return results, st, nil
+}
+
+// Hosts lists hostnames currently served, in registration order (each
+// source's hosts in first-contribution order is not guaranteed; within
+// one registration the order follows the cached tree).
+func (g *GIIS) Hosts(now float64) []string {
+	g.expire(now)
+	var out []string
+	seen := make(map[string]bool)
+	for _, id := range g.regOrder {
+		reg := g.regs[id]
+		for _, key := range reg.hostOrder {
+			dn := reg.hostDNs[key]
+			if _, ok := g.dit.Get(dn); !ok {
+				continue
+			}
+			host := dn[0].Value
+			if !seen[host] {
+				seen[host] = true
+				out = append(out, host)
+			}
+		}
+	}
+	return out
+}
+
+// String identifies the GIIS.
+func (g *GIIS) String() string {
+	return fmt.Sprintf("GIIS(%s, %d registered)", g.Name, len(g.regs))
+}

@@ -1,0 +1,132 @@
+package mds
+
+import (
+	"fmt"
+
+	"repro/internal/ldap"
+)
+
+// QueryStats counts the work a GRIS or GIIS performed for one request.
+// The testbed's calibration converts these counts into CPU seconds.
+type QueryStats struct {
+	// ProvidersInvoked counts information-provider forks (cache misses).
+	ProvidersInvoked int
+	// ProviderForkWeight sums the fork weights of invoked providers.
+	ProviderForkWeight float64
+	// EntriesVisited counts directory entries examined by the search.
+	EntriesVisited int
+	// EntriesReturned counts entries in the result.
+	EntriesReturned int
+	// ResponseBytes is the LDIF size of the result.
+	ResponseBytes int
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(other QueryStats) {
+	s.ProvidersInvoked += other.ProvidersInvoked
+	s.ProviderForkWeight += other.ProviderForkWeight
+	s.EntriesVisited += other.EntriesVisited
+	s.EntriesReturned += other.EntriesReturned
+	s.ResponseBytes += other.ResponseBytes
+}
+
+// GRIS is a Grid Resource Information Service: the resource-level
+// information server. It serves a DIT populated by information providers,
+// refreshed through a TTL cache: a query first freshens any expired
+// provider data (paying the provider fork cost), then searches the tree.
+type GRIS struct {
+	Host string
+	// CacheTTL is the provider-data time-to-live in seconds. Zero means
+	// data is never cached (every query re-invokes every provider);
+	// a very large value keeps data always in cache after warmup.
+	CacheTTL float64
+
+	providers []*Provider
+	expiry    []float64
+	dit       *ldap.DIT
+}
+
+// NewGRIS creates a GRIS for a host with the given providers. The cache
+// starts cold; Warm can pre-populate it.
+func NewGRIS(host string, cacheTTL float64, providers []*Provider) *GRIS {
+	g := &GRIS{
+		Host:      host,
+		CacheTTL:  cacheTTL,
+		providers: providers,
+		expiry:    make([]float64, len(providers)),
+		dit:       ldap.NewDIT(),
+	}
+	for i := range g.expiry {
+		g.expiry[i] = -1 // cold
+	}
+	base := ldap.NewEntry(hostDN(host))
+	base.Set("objectclass", "MdsHost")
+	base.Set("Mds-Host-hn", host)
+	if err := g.dit.Add(base); err != nil {
+		panic(err) // fresh tree cannot collide
+	}
+	return g
+}
+
+// NumProviders reports the number of information providers.
+func (g *GRIS) NumProviders() int { return len(g.providers) }
+
+// Warm refreshes every provider at time now, pre-populating the cache the
+// way the paper's "data always in cache" configuration did.
+func (g *GRIS) Warm(now float64) QueryStats {
+	var st QueryStats
+	for i := range g.providers {
+		st.Add(g.refresh(i, now))
+	}
+	return st
+}
+
+// refresh invokes provider i and upserts its entries.
+func (g *GRIS) refresh(i int, now float64) QueryStats {
+	p := g.providers[i]
+	entries := p.Generate(g.Host, now)
+	for _, e := range entries {
+		g.dit.Upsert(e)
+	}
+	g.expiry[i] = now + g.CacheTTL
+	return QueryStats{ProvidersInvoked: 1, ProviderForkWeight: p.ForkWeight}
+}
+
+// Query runs an LDAP search over the GRIS data at time now, refreshing
+// expired provider data first. A nil filter matches everything; attrs
+// non-empty projects the result ("query part").
+func (g *GRIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats) {
+	var st QueryStats
+	for i := range g.providers {
+		if now >= g.expiry[i] {
+			st.Add(g.refresh(i, now))
+		}
+	}
+	results, visited := g.dit.Search(hostDN(g.Host), ldap.ScopeSub, filter)
+	results = ldap.ProjectAll(results, attrs)
+	st.EntriesVisited += visited
+	st.EntriesReturned += len(results)
+	st.ResponseBytes += ldap.SizeBytes(results)
+	return results, st
+}
+
+// Snapshot returns a copy of the GRIS's current entries, the payload it
+// pushes to a GIIS at registration time.
+func (g *GRIS) Snapshot(now float64) []*ldap.Entry {
+	for i := range g.providers {
+		if now >= g.expiry[i] {
+			g.refresh(i, now)
+		}
+	}
+	entries, _ := g.dit.Search(hostDN(g.Host), ldap.ScopeSub, nil)
+	out := make([]*ldap.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = e.Clone()
+	}
+	return out
+}
+
+// String identifies the GRIS.
+func (g *GRIS) String() string {
+	return fmt.Sprintf("GRIS(%s, %d providers)", g.Host, len(g.providers))
+}

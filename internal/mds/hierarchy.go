@@ -1,0 +1,39 @@
+package mds
+
+import (
+	"repro/internal/ldap"
+)
+
+// Source is anything a GIIS can aggregate: a GRIS, or another GIIS ("any
+// GRIS or GIIS can register with another, making this approach modular
+// and extensible" — the paper's Figure 1). Snapshot returns the source's
+// current entries; implementations return clones the GIIS may retain.
+type Source interface {
+	Snapshot(now float64) []*ldap.Entry
+}
+
+// Snapshot returns a copy of all data entries the GIIS currently serves,
+// making a GIIS registrable with a higher-level GIIS.
+func (g *GIIS) Snapshot(now float64) []*ldap.Entry {
+	g.expire(now)
+	for _, id := range g.regOrder {
+		if now >= g.cacheFill[id] {
+			g.fill(g.regs[id], now)
+		}
+	}
+	entries, _ := g.dit.Search(SuffixDN, ldap.ScopeSub, nil)
+	out := make([]*ldap.Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.First("objectclass") == "MdsStructure" {
+			continue
+		}
+		out = append(out, e.Clone())
+	}
+	return out
+}
+
+// Compile-time checks: both MDS servers are aggregation sources.
+var (
+	_ Source = (*GRIS)(nil)
+	_ Source = (*GIIS)(nil)
+)

@@ -1,0 +1,131 @@
+package mds
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ldap"
+)
+
+// buildTwoLevel builds top <- {mid1, mid2} <- 2 GRIS each.
+func buildTwoLevel(t *testing.T) (*GIIS, []*GIIS) {
+	t.Helper()
+	top := NewGIIS("top", 1e9, 600)
+	var mids []*GIIS
+	host := 0
+	for m := 0; m < 2; m++ {
+		mid := NewGIIS(fmt.Sprintf("mid%d", m), 1e9, 600)
+		for k := 0; k < 2; k++ {
+			g := NewGRIS(fmt.Sprintf("host%d", host), 1e9, DefaultProviders())
+			host++
+			if _, err := mid.Register(fmt.Sprintf("gris-%d", k), g, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := top.Register(fmt.Sprintf("mid-%d", m), mid, 0); err != nil {
+			t.Fatal(err)
+		}
+		mids = append(mids, mid)
+	}
+	return top, mids
+}
+
+func TestGIISRegistersWithGIIS(t *testing.T) {
+	top, _ := buildTwoLevel(t)
+	if n := top.NumRegistered(1); n != 2 {
+		t.Fatalf("top registrations = %d, want 2 (mid-level GIISs)", n)
+	}
+	// The top level serves the union of all four hosts' data.
+	results, _, err := top.Query(1, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("cpu entries at top = %d, want 4", len(results))
+	}
+	hosts := top.Hosts(1)
+	if len(hosts) != 4 {
+		t.Fatalf("hosts at top = %v", hosts)
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	top, _ := buildTwoLevel(t)
+	root := NewGIIS("root", 1e9, 600)
+	if _, err := root.Register("top", top, 0); err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := root.Query(1, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("cpu entries at root = %d, want 4", len(results))
+	}
+}
+
+func TestMidLevelExpiryPropagatesOnRefill(t *testing.T) {
+	top, mids := buildTwoLevel(t)
+	// Make the top's cache short-lived so it re-snapshots the mids.
+	top.CacheTTL = 10
+	// mid0's GRIS registrations lapse at t=601; renew only mid
+	// registrations at the top.
+	if _, err := top.Register("mid-0", mids[0], 599); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Register("mid-1", mids[1], 599); err != nil {
+		t.Fatal(err)
+	}
+	// At t=700 mid-level GRIS registrations have lapsed; the top's
+	// refreshed snapshot must shrink. (The hosts remain cached at the top
+	// until its own cache expires, which it does at 609.)
+	results, _, err := top.Query(700, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("entries after downstream expiry = %d, want 0", len(results))
+	}
+}
+
+func TestHierarchySnapshotExcludesGlue(t *testing.T) {
+	top, _ := buildTwoLevel(t)
+	for _, e := range top.Snapshot(1) {
+		if e.First("objectclass") == "MdsStructure" {
+			t.Fatal("snapshot leaked structural glue entries")
+		}
+	}
+}
+
+func TestGRISSourceStillWorks(t *testing.T) {
+	// Regression: plain GRIS registration (the paper's configuration)
+	// keeps working through the generalized Source interface.
+	giis := NewGIIS("g", 1e9, 600)
+	gris := NewGRIS("lucky7", 1e9, DefaultProviders())
+	if _, err := giis.Register("r", gris, 0); err != nil {
+		t.Fatal(err)
+	}
+	hosts := giis.Hosts(1)
+	if len(hosts) != 1 || hosts[0] != "lucky7" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestHostsDeterministicOrder(t *testing.T) {
+	giis := NewGIIS("g", 1e9, 600)
+	for i := 0; i < 5; i++ {
+		g := NewGRIS(fmt.Sprintf("h%d", i), 1e9, DefaultProviders())
+		if _, err := giis.Register(fmt.Sprintf("r%d", i), g, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := giis.Hosts(1)
+	for trial := 0; trial < 5; trial++ {
+		again := giis.Hosts(1)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("host order varies: %v vs %v", first, again)
+			}
+		}
+	}
+}

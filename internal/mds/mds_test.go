@@ -1,0 +1,230 @@
+package mds
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ldap"
+)
+
+func TestDefaultProvidersCount(t *testing.T) {
+	ps := DefaultProviders()
+	if len(ps) != 10 {
+		t.Fatalf("default providers = %d, want 10 (stock MDS 2.1 install)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate provider %q", p.Name)
+		}
+		seen[p.Name] = true
+		entries := p.Generate("lucky7", 0)
+		if len(entries) == 0 {
+			t.Fatalf("provider %q generated no entries", p.Name)
+		}
+		for _, e := range entries {
+			if !e.DN.IsDescendantOf(hostDN("lucky7")) {
+				t.Fatalf("provider %q entry %q not under host DN", p.Name, e.DN)
+			}
+		}
+	}
+}
+
+func TestMemoryProviderCopies(t *testing.T) {
+	ps := MemoryProviderCopies(90)
+	if len(ps) != 90 {
+		t.Fatalf("copies = %d", len(ps))
+	}
+	// Distinct names and distinct DNs so they coexist in one GRIS.
+	a := ps[0].Generate("h", 0)[0]
+	b := ps[1].Generate("h", 0)[0]
+	if a.DN.Equal(b.DN) {
+		t.Fatal("provider copies collide on DN")
+	}
+}
+
+func TestGRISColdQueryInvokesAllProviders(t *testing.T) {
+	g := NewGRIS("lucky7", 30, DefaultProviders())
+	_, st := g.Query(0, nil, nil)
+	if st.ProvidersInvoked != 10 {
+		t.Fatalf("cold query invoked %d providers, want 10", st.ProvidersInvoked)
+	}
+	if st.EntriesReturned == 0 || st.ResponseBytes == 0 {
+		t.Fatalf("cold query returned nothing: %+v", st)
+	}
+}
+
+func TestGRISCacheHitSkipsProviders(t *testing.T) {
+	g := NewGRIS("lucky7", 30, DefaultProviders())
+	g.Warm(0)
+	_, st := g.Query(1, nil, nil)
+	if st.ProvidersInvoked != 0 {
+		t.Fatalf("warm query invoked %d providers, want 0", st.ProvidersInvoked)
+	}
+}
+
+func TestGRISCacheExpires(t *testing.T) {
+	g := NewGRIS("lucky7", 30, DefaultProviders())
+	g.Warm(0)
+	_, st := g.Query(31, nil, nil)
+	if st.ProvidersInvoked != 10 {
+		t.Fatalf("expired query invoked %d providers, want 10", st.ProvidersInvoked)
+	}
+}
+
+func TestGRISNoCacheAlwaysInvokes(t *testing.T) {
+	g := NewGRIS("lucky7", 0, DefaultProviders())
+	for i := 0; i < 3; i++ {
+		_, st := g.Query(float64(i), nil, nil)
+		if st.ProvidersInvoked != 10 {
+			t.Fatalf("nocache query %d invoked %d providers", i, st.ProvidersInvoked)
+		}
+	}
+}
+
+func TestGRISFilterAndProjection(t *testing.T) {
+	g := NewGRIS("lucky7", 1e9, DefaultProviders())
+	g.Warm(0)
+	all, stAll := g.Query(1, nil, nil)
+	cpuOnly, _ := g.Query(1, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if len(cpuOnly) != 1 {
+		t.Fatalf("cpu filter returned %d entries", len(cpuOnly))
+	}
+	if len(cpuOnly) >= len(all) {
+		t.Fatal("filter did not narrow result")
+	}
+	_, stPart := g.Query(1, nil, []string{"Mds-Cpu-Free-1minX100"})
+	if stPart.ResponseBytes >= stAll.ResponseBytes {
+		t.Fatalf("projection bytes %d >= full bytes %d", stPart.ResponseBytes, stAll.ResponseBytes)
+	}
+}
+
+func TestGRISSnapshotIsolated(t *testing.T) {
+	g := NewGRIS("lucky7", 1e9, DefaultProviders())
+	snap := g.Snapshot(0)
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	snap[0].Set("tampered", "yes")
+	again := g.Snapshot(1)
+	for _, e := range again {
+		if e.Has("tampered") {
+			t.Fatal("snapshot shares storage with GRIS")
+		}
+	}
+}
+
+func newTestGIIS(t *testing.T, nGRIS int) (*GIIS, []*GRIS) {
+	t.Helper()
+	giis := NewGIIS("giis0", 1e9, 600)
+	var gs []*GRIS
+	for i := 0; i < nGRIS; i++ {
+		g := NewGRIS(fmt.Sprintf("lucky%d", i+3), 1e9, DefaultProviders())
+		if _, err := giis.Register(fmt.Sprintf("gris-%d", i), g, 0); err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return giis, gs
+}
+
+func TestGIISAggregatesRegisteredGRIS(t *testing.T) {
+	giis, _ := newTestGIIS(t, 5)
+	if n := giis.NumRegistered(1); n != 5 {
+		t.Fatalf("registered = %d, want 5", n)
+	}
+	results, st, err := giis.Query(1, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("cpu entries = %d, want 5 (one per GRIS)", len(results))
+	}
+	if st.ProvidersInvoked != 0 {
+		t.Fatal("GIIS query should serve from cache, not invoke providers")
+	}
+}
+
+func TestGIISQueryPartSmaller(t *testing.T) {
+	giis, _ := newTestGIIS(t, 5)
+	_, full, _ := giis.Query(1, nil, nil)
+	_, part, _ := giis.Query(1, ldap.MustParseFilter("(objectclass=MdsCpu)"), []string{"Mds-Cpu-Free-1minX100"})
+	if part.ResponseBytes >= full.ResponseBytes {
+		t.Fatalf("query-part bytes %d >= query-all bytes %d", part.ResponseBytes, full.ResponseBytes)
+	}
+	if part.EntriesVisited != full.EntriesVisited {
+		t.Fatalf("both should walk the whole tree: %d vs %d", part.EntriesVisited, full.EntriesVisited)
+	}
+}
+
+func TestGIISSoftStateExpiry(t *testing.T) {
+	giis, _ := newTestGIIS(t, 3)
+	// TTL is 600; at t=601 everything lapses.
+	if n := giis.NumRegistered(601); n != 0 {
+		t.Fatalf("registered after expiry = %d, want 0", n)
+	}
+	results, _, _ := giis.Query(601, nil, nil)
+	if len(results) != 0 {
+		t.Fatalf("query after expiry returned %d entries", len(results))
+	}
+}
+
+func TestGIISRenewalKeepsRegistration(t *testing.T) {
+	giis, gs := newTestGIIS(t, 1)
+	if _, err := giis.Register("gris-0", gs[0], 500); err != nil {
+		t.Fatal(err)
+	}
+	if n := giis.NumRegistered(900); n != 1 {
+		t.Fatalf("renewed registration lapsed: %d", n)
+	}
+}
+
+func TestGIISRegistrationCap(t *testing.T) {
+	giis := NewGIIS("giis0", 1e9, 1e9)
+	g := NewGRIS("host", 1e9, DefaultProviders()[:1])
+	for i := 0; i < MaxRegistrants; i++ {
+		if _, err := giis.Register(fmt.Sprintf("g%d", i), g, 0); err != nil {
+			t.Fatalf("registration %d failed: %v", i, err)
+		}
+	}
+	_, err := giis.Register("one-too-many", g, 0)
+	if err == nil {
+		t.Fatal("registration past cap succeeded")
+	}
+	if _, ok := err.(ErrGIISOverload); !ok {
+		t.Fatalf("error type %T, want ErrGIISOverload", err)
+	}
+}
+
+func TestGIISHosts(t *testing.T) {
+	giis, _ := newTestGIIS(t, 3)
+	hosts := giis.Hosts(1)
+	if len(hosts) != 3 || hosts[0] != "lucky3" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestGIISDeadGRISCleanupRemovesSubtree(t *testing.T) {
+	giis, gs := newTestGIIS(t, 2)
+	// Renew only gris-0; gris-1 dies.
+	if _, err := giis.Register("gris-0", gs[0], 599); err != nil {
+		t.Fatal(err)
+	}
+	results, _, _ := giis.Query(601, ldap.MustParseFilter("(objectclass=MdsCpu)"), nil)
+	if len(results) != 1 {
+		t.Fatalf("entries after partial expiry = %d, want 1", len(results))
+	}
+	if !strings.Contains(results[0].DN.String(), "lucky3") {
+		t.Fatalf("wrong survivor: %s", results[0].DN)
+	}
+}
+
+func TestQueryStatsAdd(t *testing.T) {
+	a := QueryStats{ProvidersInvoked: 1, EntriesVisited: 2, ResponseBytes: 3}
+	a.Add(QueryStats{ProvidersInvoked: 10, EntriesReturned: 5, ProviderForkWeight: 1.5})
+	if a.ProvidersInvoked != 11 || a.EntriesVisited != 2 || a.EntriesReturned != 5 ||
+		a.ResponseBytes != 3 || a.ProviderForkWeight != 1.5 {
+		t.Fatalf("Add result %+v", a)
+	}
+}

@@ -1,0 +1,277 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+	// MaxRowsPerTable, when positive, applies a row cap to newly created
+	// tables (see Table.MaxRows).
+	MaxRowsPerTable int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Table returns the named table (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// CreateTable creates a table, failing on duplicates.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("relational: table %q already exists", name)
+	}
+	t := NewTable(name, cols)
+	t.MaxRows = db.MaxRowsPerTable
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table, reporting whether it existed.
+func (db *DB) DropTable(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return false
+	}
+	delete(db.tables, key)
+	return true
+}
+
+// TableNames lists table names in sorted order.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Affected counts inserted or deleted rows for write statements.
+	Affected int
+	// Scanned counts the rows examined, the executor's work measure that
+	// the testbed charges CPU for.
+	Scanned int
+}
+
+// SizeBytes estimates the result's wire size.
+func (r *Result) SizeBytes() int {
+	n := 0
+	for _, c := range r.Columns {
+		n += len(c) + 1
+	}
+	return n + SizeBytes(r.Rows)
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(st)
+}
+
+// Run executes a parsed statement.
+func (db *DB) Run(st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case CreateStmt:
+		if _, err := db.CreateTable(s.Table, s.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case InsertStmt:
+		return db.runInsert(s)
+	case SelectStmt:
+		return db.runSelect(s)
+	case DeleteStmt:
+		return db.runDelete(s)
+	case UpdateStmt:
+		return db.runUpdate(s)
+	}
+	return nil, fmt.Errorf("relational: unknown statement type %T", st)
+}
+
+func (db *DB) runInsert(s InsertStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	row := s.Values
+	if len(s.Columns) > 0 {
+		if len(s.Columns) != len(s.Values) {
+			return nil, fmt.Errorf("relational: %d columns but %d values", len(s.Columns), len(s.Values))
+		}
+		row = make([]Value, len(t.Schema.Columns))
+		seen := make([]bool, len(t.Schema.Columns))
+		for i, cn := range s.Columns {
+			ci := t.Schema.ColIndex(cn)
+			if ci < 0 {
+				return nil, fmt.Errorf("relational: no column %q in %q", cn, s.Table)
+			}
+			row[ci] = s.Values[i]
+			seen[ci] = true
+		}
+		for ci, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("relational: column %q not supplied", t.Schema.Columns[ci].Name)
+			}
+		}
+	}
+	if err := t.Insert(row); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: 1}, nil
+}
+
+func (db *DB) runSelect(s SelectStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	// Projection plan.
+	var colIdx []int
+	var colNames []string
+	if len(s.Columns) == 0 {
+		for i, c := range t.Schema.Columns {
+			colIdx = append(colIdx, i)
+			colNames = append(colNames, c.Name)
+		}
+	} else {
+		for _, cn := range s.Columns {
+			ci := t.Schema.ColIndex(cn)
+			if ci < 0 {
+				return nil, fmt.Errorf("relational: no column %q in %q", cn, s.Table)
+			}
+			colIdx = append(colIdx, ci)
+			colNames = append(colNames, t.Schema.Columns[ci].Name)
+		}
+	}
+	res := &Result{Columns: colNames}
+	var matched [][]Value
+	for _, row := range t.Rows() {
+		res.Scanned++
+		if s.Where != nil {
+			ok, err := s.Where.Eval(&t.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = append(matched, row)
+	}
+	if s.OrderBy != "" {
+		oi := t.Schema.ColIndex(s.OrderBy)
+		if oi < 0 {
+			return nil, fmt.Errorf("relational: no column %q in %q", s.OrderBy, s.Table)
+		}
+		sort.SliceStable(matched, func(i, j int) bool {
+			cmp, err := matched[i][oi].Compare(matched[j][oi])
+			if err != nil {
+				return false
+			}
+			if s.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		})
+	}
+	if s.Limit > 0 && len(matched) > s.Limit {
+		matched = matched[:s.Limit]
+	}
+	for _, row := range matched {
+		out := make([]Value, len(colIdx))
+		for i, ci := range colIdx {
+			out[i] = row[ci]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (db *DB) runUpdate(s UpdateStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	// Resolve and coerce assignments up front.
+	colIdx := make([]int, len(s.Columns))
+	vals := make([]Value, len(s.Columns))
+	for i, cn := range s.Columns {
+		ci := t.Schema.ColIndex(cn)
+		if ci < 0 {
+			return nil, fmt.Errorf("relational: no column %q in %q", cn, s.Table)
+		}
+		cv, err := s.Values[i].Coerce(t.Schema.Columns[ci].Type)
+		if err != nil {
+			return nil, fmt.Errorf("relational: column %q: %v", cn, err)
+		}
+		colIdx[i] = ci
+		vals[i] = cv
+	}
+	res := &Result{}
+	for _, row := range t.Rows() {
+		res.Scanned++
+		if s.Where != nil {
+			ok, err := s.Where.Eval(&t.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		for i, ci := range colIdx {
+			row[ci] = vals[i]
+		}
+		res.Affected++
+	}
+	if res.Affected > 0 {
+		for ci := range t.index {
+			if err := t.CreateIndex(t.Schema.Columns[ci].Name); err != nil {
+				panic(err) // column cannot vanish
+			}
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) runDelete(s DeleteStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	var evalErr error
+	scanned := 0
+	removed := t.DeleteWhere(func(row []Value) bool {
+		scanned++
+		if s.Where == nil {
+			return true
+		}
+		ok, err := s.Where.Eval(&t.Schema, row)
+		if err != nil && evalErr == nil {
+			evalErr = err
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return &Result{Affected: removed, Scanned: scanned}, nil
+}

@@ -1,0 +1,433 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newHostDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE hosts (name VARCHAR(64), cpus INT, load REAL)")
+	mustExec(t, db, "INSERT INTO hosts VALUES ('lucky3', 2, 0.5)")
+	mustExec(t, db, "INSERT INTO hosts VALUES ('lucky4', 2, 1.25)")
+	mustExec(t, db, "INSERT INTO hosts VALUES ('lucky7', 2, 0.1)")
+	mustExec(t, db, "INSERT INTO hosts VALUES ('uc01', 1, 2.0)")
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateAndInsert(t *testing.T) {
+	db := newHostDB(t)
+	tbl, ok := db.Table("HOSTS") // case-insensitive
+	if !ok {
+		t.Fatal("table not found")
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("rows = %d, want 4", tbl.Len())
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	db := newHostDB(t)
+	if _, err := db.Exec("CREATE TABLE hosts (x INT)"); err == nil {
+		t.Fatal("duplicate CREATE succeeded")
+	}
+}
+
+func TestSelectAll(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "SELECT * FROM hosts")
+	if len(res.Rows) != 4 || len(res.Columns) != 3 {
+		t.Fatalf("rows=%d cols=%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Scanned != 4 {
+		t.Fatalf("scanned = %d, want 4", res.Scanned)
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "SELECT name FROM hosts WHERE load < 1.0 AND cpus = 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	names := []string{res.Rows[0][0].S, res.Rows[1][0].S}
+	if names[0] != "lucky3" || names[1] != "lucky7" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSelectOrPrecedence(t *testing.T) {
+	db := newHostDB(t)
+	// AND binds tighter than OR.
+	res := mustExec(t, db, "SELECT name FROM hosts WHERE name = 'uc01' OR load < 0.6 AND cpus = 2")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestSelectNotAndParens(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "SELECT name FROM hosts WHERE NOT (cpus = 2)")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "uc01" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectOrderByAndLimit(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "SELECT name FROM hosts ORDER BY load DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "uc01" || res.Rows[1][0].S != "lucky4" {
+		t.Fatalf("order = %v, %v", res.Rows[0][0].S, res.Rows[1][0].S)
+	}
+}
+
+func TestSelectLike(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "SELECT name FROM hosts WHERE name LIKE 'lucky%'")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	res = mustExec(t, db, "SELECT name FROM hosts WHERE name LIKE '_c0_'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "uc01" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestColumnComparison(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE pairs (a INT, b INT)")
+	mustExec(t, db, "INSERT INTO pairs VALUES (1, 2)")
+	mustExec(t, db, "INSERT INTO pairs VALUES (3, 3)")
+	res := mustExec(t, db, "SELECT * FROM pairs WHERE a = b")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := newHostDB(t)
+	mustExec(t, db, "INSERT INTO hosts (load, name, cpus) VALUES (0.9, 'lucky5', 2)")
+	res := mustExec(t, db, "SELECT load FROM hosts WHERE name = 'lucky5'")
+	if len(res.Rows) != 1 || res.Rows[0][0].R != 0.9 {
+		t.Fatalf("row = %v", res.Rows)
+	}
+}
+
+func TestInsertMissingColumnFails(t *testing.T) {
+	db := newHostDB(t)
+	if _, err := db.Exec("INSERT INTO hosts (name) VALUES ('x')"); err == nil {
+		t.Fatal("partial insert succeeded")
+	}
+}
+
+func TestInsertTypeCoercion(t *testing.T) {
+	db := newHostDB(t)
+	// Integer literal into REAL column coerces.
+	mustExec(t, db, "INSERT INTO hosts VALUES ('lucky6', 2, 1)")
+	res := mustExec(t, db, "SELECT load FROM hosts WHERE name = 'lucky6'")
+	if res.Rows[0][0].Type != RealType || res.Rows[0][0].R != 1 {
+		t.Fatalf("coerced value = %v", res.Rows[0][0])
+	}
+	// String into INT column fails.
+	if _, err := db.Exec("INSERT INTO hosts VALUES ('x', 'two', 0.5)"); err == nil {
+		t.Fatal("string-into-int insert succeeded")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "DELETE FROM hosts WHERE cpus = 1")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d, want 1", res.Affected)
+	}
+	if tbl, _ := db.Table("hosts"); tbl.Len() != 3 {
+		t.Fatalf("rows after delete = %d", tbl.Len())
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "DELETE FROM hosts")
+	if res.Affected != 4 {
+		t.Fatalf("affected = %d, want 4", res.Affected)
+	}
+}
+
+func TestMaxRowsCap(t *testing.T) {
+	db := NewDB()
+	db.MaxRowsPerTable = 2
+	mustExec(t, db, "CREATE TABLE t (x INT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	mustExec(t, db, "INSERT INTO t VALUES (2)")
+	if _, err := db.Exec("INSERT INTO t VALUES (3)"); err == nil {
+		t.Fatal("insert beyond MaxRows succeeded")
+	}
+}
+
+func TestIndexedLookup(t *testing.T) {
+	db := newHostDB(t)
+	tbl, _ := db.Table("hosts")
+	if err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := tbl.LookupIndexed("name", StrVal("lucky4"))
+	if !ok || len(rows) != 1 || rows[0][0].S != "lucky4" {
+		t.Fatalf("indexed lookup = %v, %v", rows, ok)
+	}
+	// Index stays consistent across later inserts.
+	mustExec(t, db, "INSERT INTO hosts VALUES ('lucky4', 4, 0.0)")
+	rows, _ = tbl.LookupIndexed("name", StrVal("lucky4"))
+	if len(rows) != 2 {
+		t.Fatalf("indexed rows after insert = %d, want 2", len(rows))
+	}
+	// And across deletes (rebuild).
+	mustExec(t, db, "DELETE FROM hosts WHERE cpus = 4")
+	rows, _ = tbl.LookupIndexed("name", StrVal("lucky4"))
+	if len(rows) != 1 {
+		t.Fatalf("indexed rows after delete = %d, want 1", len(rows))
+	}
+}
+
+func TestLookupWithoutIndex(t *testing.T) {
+	db := newHostDB(t)
+	tbl, _ := db.Table("hosts")
+	if _, ok := tbl.LookupIndexed("name", StrVal("lucky4")); ok {
+		t.Fatal("lookup on unindexed column reported ok")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT FROM hosts",
+		"SELECT * FROM",
+		"SELECT * FROM hosts WHERE",
+		"INSERT hosts VALUES (1)",
+		"CREATE TABLE t (x NOTATYPE)",
+		"SELECT * FROM hosts LIMIT -1",
+		"SELECT * FROM hosts WHERE name ~ 'x'",
+		"INSERT INTO t VALUES (1) trailing",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestExecUnknownTable(t *testing.T) {
+	db := NewDB()
+	for _, sql := range []string{
+		"SELECT * FROM nope",
+		"INSERT INTO nope VALUES (1)",
+		"DELETE FROM nope",
+	} {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE t (s VARCHAR)")
+	mustExec(t, db, "INSERT INTO t VALUES ('it''s')")
+	res := mustExec(t, db, "SELECT s FROM t")
+	if res.Rows[0][0].S != "it's" {
+		t.Fatalf("escaped string = %q", res.Rows[0][0].S)
+	}
+}
+
+func TestResultSizeBytes(t *testing.T) {
+	db := newHostDB(t)
+	all := mustExec(t, db, "SELECT * FROM hosts")
+	one := mustExec(t, db, "SELECT name FROM hosts LIMIT 1")
+	if one.SizeBytes() >= all.SizeBytes() {
+		t.Fatalf("size ordering wrong: %d >= %d", one.SizeBytes(), all.SizeBytes())
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newHostDB(t)
+	if !db.DropTable("HOSTS") {
+		t.Fatal("drop failed")
+	}
+	if db.DropTable("hosts") {
+		t.Fatal("second drop succeeded")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE zeta (x INT)")
+	mustExec(t, db, "CREATE TABLE alpha (x INT)")
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+// Property: a WHERE equality select returns exactly the rows inserted with
+// that key.
+func TestSelectEqualityProperty(t *testing.T) {
+	f := func(keys []uint8, probe uint8) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (k INT)"); err != nil {
+			return false
+		}
+		want := 0
+		for _, k := range keys {
+			k := k % 16
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", k)); err != nil {
+				return false
+			}
+			if k == probe%16 {
+				want++
+			}
+		}
+		res, err := db.Exec(fmt.Sprintf("SELECT * FROM t WHERE k = %d", probe%16))
+		if err != nil {
+			return false
+		}
+		return len(res.Rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LIKE with no wildcards behaves as case-insensitive equality.
+func TestLikeEqualityProperty(t *testing.T) {
+	f := func(raw string) bool {
+		s := ""
+		for _, c := range raw {
+			if c >= 'a' && c <= 'z' {
+				s += string(c)
+			}
+		}
+		if len(s) > 12 {
+			s = s[:12]
+		}
+		return likeMatch(s, s) && likeMatch(strings.ToUpper(s), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ORDER BY yields a non-decreasing sequence.
+func TestOrderByMonotoneProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		db := NewDB()
+		if _, err := db.Exec("CREATE TABLE t (v INT)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", v)); err != nil {
+				return false
+			}
+		}
+		res, err := db.Exec("SELECT v FROM t ORDER BY v")
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i][0].I < res.Rows[i-1][0].I {
+				return false
+			}
+		}
+		return len(res.Rows) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "UPDATE hosts SET load = 9.9 WHERE name = 'lucky4'")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d, want 1", res.Affected)
+	}
+	got := mustExec(t, db, "SELECT load FROM hosts WHERE name = 'lucky4'")
+	if got.Rows[0][0].R != 9.9 {
+		t.Fatalf("load = %v", got.Rows[0][0])
+	}
+	// Other rows untouched.
+	other := mustExec(t, db, "SELECT load FROM hosts WHERE name = 'lucky3'")
+	if other.Rows[0][0].R != 0.5 {
+		t.Fatalf("lucky3 load = %v", other.Rows[0][0])
+	}
+}
+
+func TestUpdateAllRowsMultipleColumns(t *testing.T) {
+	db := newHostDB(t)
+	res := mustExec(t, db, "UPDATE hosts SET cpus = 4, load = 0.0")
+	if res.Affected != 4 {
+		t.Fatalf("affected = %d, want 4", res.Affected)
+	}
+	got := mustExec(t, db, "SELECT * FROM hosts WHERE cpus = 4 AND load = 0.0")
+	if len(got.Rows) != 4 {
+		t.Fatalf("rows = %d", len(got.Rows))
+	}
+}
+
+func TestUpdateCoercesTypes(t *testing.T) {
+	db := newHostDB(t)
+	// Integer literal into a REAL column coerces.
+	mustExec(t, db, "UPDATE hosts SET load = 2 WHERE name = 'lucky3'")
+	got := mustExec(t, db, "SELECT load FROM hosts WHERE name = 'lucky3'")
+	if got.Rows[0][0].Type != RealType || got.Rows[0][0].R != 2 {
+		t.Fatalf("load = %v", got.Rows[0][0])
+	}
+	if _, err := db.Exec("UPDATE hosts SET cpus = 'many'"); err == nil {
+		t.Fatal("string-into-int update succeeded")
+	}
+}
+
+func TestUpdateMaintainsIndex(t *testing.T) {
+	db := newHostDB(t)
+	tbl, _ := db.Table("hosts")
+	if err := tbl.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "UPDATE hosts SET name = 'renamed' WHERE name = 'lucky4'")
+	if rows, _ := tbl.LookupIndexed("name", StrVal("lucky4")); len(rows) != 0 {
+		t.Fatalf("stale index entry: %v", rows)
+	}
+	rows, _ := tbl.LookupIndexed("name", StrVal("renamed"))
+	if len(rows) != 1 {
+		t.Fatalf("renamed row not indexed: %v", rows)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := newHostDB(t)
+	for _, sql := range []string{
+		"UPDATE nope SET x = 1",
+		"UPDATE hosts SET nosuch = 1",
+		"UPDATE hosts SET",
+		"UPDATE hosts SET name = ",
+		"UPDATE hosts SET name = 'x' WHERE",
+	} {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", sql)
+		}
+	}
+}

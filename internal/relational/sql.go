@@ -1,0 +1,696 @@
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateStmt is CREATE TABLE name (col TYPE, ...).
+type CreateStmt struct {
+	Table   string
+	Columns []Column
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (v, ...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means schema order
+	Values  []Value
+}
+
+// SelectStmt is SELECT cols FROM table [WHERE expr] [ORDER BY col [DESC]]
+// [LIMIT n].
+type SelectStmt struct {
+	Table   string
+	Columns []string // empty means *
+	Where   BoolExpr // nil means all rows
+	OrderBy string
+	Desc    bool
+	Limit   int // 0 means no limit
+}
+
+// DeleteStmt is DELETE FROM table [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where BoolExpr
+}
+
+// UpdateStmt is UPDATE table SET col = literal [, ...] [WHERE expr].
+type UpdateStmt struct {
+	Table   string
+	Columns []string
+	Values  []Value
+	Where   BoolExpr
+}
+
+func (CreateStmt) stmt() {}
+func (InsertStmt) stmt() {}
+func (SelectStmt) stmt() {}
+func (DeleteStmt) stmt() {}
+func (UpdateStmt) stmt() {}
+
+// BoolExpr is a WHERE predicate over a row.
+type BoolExpr interface {
+	Eval(s *Schema, row []Value) (bool, error)
+}
+
+type andExpr struct{ l, r BoolExpr }
+type orExpr struct{ l, r BoolExpr }
+type notExpr struct{ x BoolExpr }
+
+// cmpExpr compares a column with a literal (or another column).
+type cmpExpr struct {
+	op    string // =, !=, <, <=, >, >=, LIKE
+	left  operand
+	right operand
+}
+
+type operand struct {
+	isCol bool
+	col   string
+	val   Value
+}
+
+func (o operand) value(s *Schema, row []Value) (Value, error) {
+	if !o.isCol {
+		return o.val, nil
+	}
+	ci := s.ColIndex(o.col)
+	if ci < 0 {
+		return Value{}, fmt.Errorf("relational: unknown column %q", o.col)
+	}
+	return row[ci], nil
+}
+
+func (e andExpr) Eval(s *Schema, row []Value) (bool, error) {
+	l, err := e.l.Eval(s, row)
+	if err != nil {
+		return false, err
+	}
+	if !l {
+		return false, nil
+	}
+	return e.r.Eval(s, row)
+}
+
+func (e orExpr) Eval(s *Schema, row []Value) (bool, error) {
+	l, err := e.l.Eval(s, row)
+	if err != nil {
+		return false, err
+	}
+	if l {
+		return true, nil
+	}
+	return e.r.Eval(s, row)
+}
+
+func (e notExpr) Eval(s *Schema, row []Value) (bool, error) {
+	x, err := e.x.Eval(s, row)
+	return !x, err
+}
+
+func (e cmpExpr) Eval(s *Schema, row []Value) (bool, error) {
+	l, err := e.left.value(s, row)
+	if err != nil {
+		return false, err
+	}
+	r, err := e.right.value(s, row)
+	if err != nil {
+		return false, err
+	}
+	if e.op == "LIKE" {
+		ls, rs := l.S, r.S
+		if l.Type != StringType || r.Type != StringType {
+			return false, fmt.Errorf("relational: LIKE needs strings")
+		}
+		return likeMatch(rs, ls), nil
+	}
+	cmp, err := l.Compare(r)
+	if err != nil {
+		return false, err
+	}
+	switch e.op {
+	case "=":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	}
+	return false, fmt.Errorf("relational: bad operator %q", e.op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(pattern, s string) bool {
+	// Dynamic programming over pattern and string positions.
+	p, n := []rune(pattern), []rune(s)
+	memo := make(map[[2]int]bool)
+	var rec func(i, j int) bool
+	rec = func(i, j int) bool {
+		if i == len(p) {
+			return j == len(n)
+		}
+		key := [2]int{i, j}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var out bool
+		switch p[i] {
+		case '%':
+			out = rec(i+1, j) || (j < len(n) && rec(i, j+1))
+		case '_':
+			out = j < len(n) && rec(i+1, j+1)
+		default:
+			out = j < len(n) && equalFoldRune(p[i], n[j]) && rec(i+1, j+1)
+		}
+		memo[key] = out
+		return out
+	}
+	return rec(0, 0)
+}
+
+func equalFoldRune(a, b rune) bool {
+	return strings.EqualFold(string(a), string(b))
+}
+
+// --- lexer ---
+
+type sqlTok struct {
+	kind string // "ident", "int", "real", "string", "op", "eof"
+	text string
+	i    int64
+	r    float64
+}
+
+func sqlLex(src string) ([]sqlTok, error) {
+	var toks []sqlTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("relational: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, sqlTok{kind: "string", text: sb.String()})
+			i = j
+		case c >= '0' && c <= '9', c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9',
+			c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			isReal := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				if src[j] == '.' || src[j] == 'e' || src[j] == 'E' {
+					isReal = true
+				}
+				j++
+			}
+			text := src[i:j]
+			if isReal {
+				r, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relational: bad number %q", text)
+				}
+				toks = append(toks, sqlTok{kind: "real", text: text, r: r})
+			} else {
+				n, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("relational: bad number %q", text)
+				}
+				toks = append(toks, sqlTok{kind: "int", text: text, i: n})
+			}
+			i = j
+		case isSQLIdentStart(c):
+			j := i
+			for j < len(src) && isSQLIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, sqlTok{kind: "ident", text: src[i:j]})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "<=" || two == ">=" || two == "!=" || two == "<>":
+				op := two
+				if op == "<>" {
+					op = "!="
+				}
+				toks = append(toks, sqlTok{kind: "op", text: op})
+				i += 2
+			case strings.ContainsRune("(),*=<>;", rune(c)):
+				toks = append(toks, sqlTok{kind: "op", text: string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("relational: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, sqlTok{kind: "eof"})
+	return toks, nil
+}
+
+func isSQLIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isSQLIdentPart(c byte) bool {
+	return isSQLIdentStart(c) || c >= '0' && c <= '9' || c == '.' || c == '-'
+}
+
+// --- parser ---
+
+type sqlParser struct {
+	toks []sqlTok
+	pos  int
+}
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := sqlLex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	var st Statement
+	switch {
+	case p.acceptKeyword("CREATE"):
+		st, err = p.parseCreate()
+	case p.acceptKeyword("INSERT"):
+		st, err = p.parseInsert()
+	case p.acceptKeyword("SELECT"):
+		st, err = p.parseSelect()
+	case p.acceptKeyword("DELETE"):
+		st, err = p.parseDelete()
+	case p.acceptKeyword("UPDATE"):
+		st, err = p.parseUpdate()
+	default:
+		return nil, fmt.Errorf("relational: expected CREATE, INSERT, SELECT, UPDATE or DELETE, got %q", p.peek().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if p.peek().kind != "eof" {
+		return nil, fmt.Errorf("relational: trailing input %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *sqlParser) peek() sqlTok { return p.toks[p.pos] }
+
+func (p *sqlParser) advance() sqlTok {
+	t := p.toks[p.pos]
+	if t.kind != "eof" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) acceptOp(op string) bool {
+	t := p.peek()
+	if t.kind == "op" && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("relational: expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("relational: expected %q, got %q", op, p.peek().text)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != "ident" {
+		return "", fmt.Errorf("relational: expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *sqlParser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		cn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := ParseColType(tn)
+		if err != nil {
+			return nil, err
+		}
+		// Swallow an optional length such as VARCHAR(64).
+		if p.acceptOp("(") {
+			p.advance()
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, Column{Name: cn, Type: ct})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return CreateStmt{Table: name, Columns: cols}, nil
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.acceptOp("(") {
+		for {
+			cn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, cn)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var vals []Value
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return InsertStmt{Table: name, Columns: cols, Values: vals}, nil
+}
+
+func (p *sqlParser) parseLiteral() (Value, error) {
+	t := p.advance()
+	switch t.kind {
+	case "int":
+		return IntVal(t.i), nil
+	case "real":
+		return RealVal(t.r), nil
+	case "string":
+		return StrVal(t.text), nil
+	}
+	return Value{}, fmt.Errorf("relational: expected literal, got %q", t.text)
+}
+
+func (p *sqlParser) parseSelect() (Statement, error) {
+	st := SelectStmt{}
+	if p.acceptOp("*") {
+		// all columns
+	} else {
+		for {
+			cn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, cn)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.OrderBy = col
+		if p.acceptKeyword("DESC") {
+			st.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.advance()
+		if t.kind != "int" || t.i < 0 {
+			return nil, fmt.Errorf("relational: LIMIT expects a non-negative integer")
+		}
+		st.Limit = int(t.i)
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseUpdate() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := UpdateStmt{Table: name}
+	for {
+		cn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, cn)
+		st.Values = append(st.Values, v)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *sqlParser) parseOr() (BoolExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (BoolExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (BoolExpr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{x: x}, nil
+	}
+	if p.acceptOp("(") {
+		x, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (BoolExpr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	t := p.peek()
+	switch {
+	case t.kind == "op" && (t.text == "=" || t.text == "!=" || t.text == "<" ||
+		t.text == "<=" || t.text == ">" || t.text == ">="):
+		op = t.text
+		p.pos++
+	case t.kind == "ident" && strings.EqualFold(t.text, "LIKE"):
+		op = "LIKE"
+		p.pos++
+	default:
+		return nil, fmt.Errorf("relational: expected comparison operator, got %q", t.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{op: op, left: left, right: right}, nil
+}
+
+func (p *sqlParser) parseOperand() (operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case "ident":
+		p.pos++
+		return operand{isCol: true, col: t.text}, nil
+	case "int":
+		p.pos++
+		return operand{val: IntVal(t.i)}, nil
+	case "real":
+		p.pos++
+		return operand{val: RealVal(t.r)}, nil
+	case "string":
+		p.pos++
+		return operand{val: StrVal(t.text)}, nil
+	}
+	return operand{}, fmt.Errorf("relational: expected operand, got %q", t.text)
+}

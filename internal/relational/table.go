@@ -1,0 +1,163 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list with case-insensitive lookup.
+type Schema struct {
+	Columns []Column
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is an in-memory relation. MaxRows, when positive, caps the table
+// size: inserts beyond it fail, the way the paper's R-GMA environment hit
+// a 128-row table limit.
+type Table struct {
+	Name    string
+	Schema  Schema
+	MaxRows int
+	rows    [][]Value
+	// index maps an indexed column position to value-key -> row numbers.
+	index map[int]map[string][]int
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, cols []Column) *Table {
+	return &Table{
+		Name:   name,
+		Schema: Schema{Columns: cols},
+		index:  make(map[int]map[string][]int),
+	}
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column. The
+// Hawkeye Manager's "indexed resident database" and the R-GMA Registry's
+// table-name lookups both rely on this.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relational: no column %q in table %q", col, t.Name)
+	}
+	idx := make(map[string][]int)
+	for rowNum, row := range t.rows {
+		key := indexKey(row[ci])
+		idx[key] = append(idx[key], rowNum)
+	}
+	t.index[ci] = idx
+	return nil
+}
+
+func indexKey(v Value) string { return strings.ToLower(v.String()) }
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Insert appends a row after coercing each value to its column type.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: table %q expects %d values, got %d",
+			t.Name, len(t.Schema.Columns), len(row))
+	}
+	if t.MaxRows > 0 && len(t.rows) >= t.MaxRows {
+		return fmt.Errorf("relational: table %q is full (%d rows)", t.Name, t.MaxRows)
+	}
+	stored := make([]Value, len(row))
+	for i, v := range row {
+		cv, err := v.Coerce(t.Schema.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("relational: column %q: %v", t.Schema.Columns[i].Name, err)
+		}
+		stored[i] = cv
+	}
+	rowNum := len(t.rows)
+	t.rows = append(t.rows, stored)
+	for ci, idx := range t.index {
+		key := indexKey(stored[ci])
+		idx[key] = append(idx[key], rowNum)
+	}
+	return nil
+}
+
+// Rows returns the backing rows; callers must not mutate them.
+func (t *Table) Rows() [][]Value { return t.rows }
+
+// LookupIndexed returns the rows whose indexed column equals v, and
+// reports whether an index on that column exists. The scanned count is 0
+// for indexed lookups — the cost distinction the paper draws between the
+// Hawkeye Manager and the LDAP backend.
+func (t *Table) LookupIndexed(col string, v Value) (rows [][]Value, ok bool) {
+	ci := t.Schema.ColIndex(col)
+	if ci < 0 {
+		return nil, false
+	}
+	idx, ok := t.index[ci]
+	if !ok {
+		return nil, false
+	}
+	for _, rn := range idx[indexKey(v)] {
+		rows = append(rows, t.rows[rn])
+	}
+	return rows, true
+}
+
+// DeleteWhere removes every row for which pred returns true, returning the
+// count removed. Indexes are rebuilt afterwards.
+func (t *Table) DeleteWhere(pred func(row []Value) bool) int {
+	kept := t.rows[:0]
+	removed := 0
+	for _, row := range t.rows {
+		if pred(row) {
+			removed++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.rows = kept
+	if removed > 0 {
+		for ci := range t.index {
+			name := t.Schema.Columns[ci].Name
+			if err := t.CreateIndex(name); err != nil {
+				panic(err) // column cannot vanish
+			}
+		}
+	}
+	return removed
+}
+
+// SizeBytes estimates the wire size of a row set.
+func SizeBytes(rows [][]Value) int {
+	n := 0
+	for _, row := range rows {
+		for _, v := range row {
+			n += v.SizeBytes() + 1
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+// Package relational implements a small in-memory relational database with
+// a SQL subset: CREATE TABLE, INSERT, and single-table SELECT with WHERE,
+// projection, ORDER BY and LIMIT. It is the substrate underneath R-GMA,
+// whose Registry stores producer registrations in an RDBMS and whose
+// Consumers express queries in SQL against producer tables.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Supported column types.
+const (
+	IntType ColType = iota
+	RealType
+	StringType
+)
+
+func (t ColType) String() string {
+	switch t {
+	case IntType:
+		return "INT"
+	case RealType:
+		return "REAL"
+	case StringType:
+		return "VARCHAR"
+	}
+	return "INVALID"
+}
+
+// ParseColType maps SQL type names (INT, INTEGER, REAL, FLOAT, DOUBLE,
+// VARCHAR, TEXT, CHAR) to a ColType.
+func ParseColType(s string) (ColType, error) {
+	switch strings.ToUpper(s) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return IntType, nil
+	case "REAL", "FLOAT", "DOUBLE":
+		return RealType, nil
+	case "VARCHAR", "TEXT", "CHAR", "STRING":
+		return StringType, nil
+	}
+	return 0, fmt.Errorf("relational: unknown column type %q", s)
+}
+
+// Value is a typed cell value.
+type Value struct {
+	Type ColType
+	I    int64
+	R    float64
+	S    string
+}
+
+// IntVal, RealVal and StrVal construct typed values.
+func IntVal(i int64) Value    { return Value{Type: IntType, I: i} }
+func RealVal(r float64) Value { return Value{Type: RealType, R: r} }
+func StrVal(s string) Value   { return Value{Type: StringType, S: s} }
+
+// Number returns the value as float64 when numeric.
+func (v Value) Number() (float64, bool) {
+	switch v.Type {
+	case IntType:
+		return float64(v.I), true
+	case RealType:
+		return v.R, true
+	}
+	return 0, false
+}
+
+// Compare orders two values: numerically when both are numeric, otherwise
+// as strings. It returns -1, 0, or 1, and an error on a numeric/string
+// type mismatch.
+func (v Value) Compare(o Value) (int, error) {
+	vn, vNum := v.Number()
+	on, oNum := o.Number()
+	if vNum && oNum {
+		switch {
+		case vn < on:
+			return -1, nil
+		case vn > on:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	if v.Type == StringType && o.Type == StringType {
+		return strings.Compare(v.S, o.S), nil
+	}
+	return 0, fmt.Errorf("relational: cannot compare %v and %v", v.Type, o.Type)
+}
+
+// Coerce converts the value to the target column type when a safe
+// conversion exists (int<->real; string parsing is not implicit).
+func (v Value) Coerce(t ColType) (Value, error) {
+	if v.Type == t {
+		return v, nil
+	}
+	switch {
+	case v.Type == IntType && t == RealType:
+		return RealVal(float64(v.I)), nil
+	case v.Type == RealType && t == IntType:
+		return IntVal(int64(v.R)), nil
+	}
+	return Value{}, fmt.Errorf("relational: cannot store %v into %v column", v.Type, t)
+}
+
+// String renders the value in SQL literal form.
+func (v Value) String() string {
+	switch v.Type {
+	case IntType:
+		return strconv.FormatInt(v.I, 10)
+	case RealType:
+		return strconv.FormatFloat(v.R, 'g', -1, 64)
+	case StringType:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return "NULL"
+}
+
+// SizeBytes estimates the value's wire size for the network model.
+func (v Value) SizeBytes() int { return len(v.String()) }

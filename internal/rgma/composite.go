@@ -1,0 +1,119 @@
+package rgma
+
+import (
+	"fmt"
+
+	"repro/internal/gma"
+	"repro/internal/relational"
+)
+
+// CompositeProducer is the aggregate information server the paper notes
+// R-GMA lacks but "could easily be built... using a composite
+// Consumer/Producer that registered with the data streams of a number of
+// Producers, and served the data in an aggregated form". It consumes a
+// table from every producer the Registry knows, materializes the union
+// locally, and republishes it through its own Producer — so downstream
+// Consumers query one place and the Registry gains an aggregated source.
+type CompositeProducer struct {
+	ID      string
+	Table   string
+	Address string
+
+	registry *Registry
+	resolve  func(address string) (*ProducerServlet, error)
+	servlet  *ProducerServlet
+	producer *Producer
+	// lastRefresh caches the upstream pull like a GIIS cache; RefreshTTL
+	// seconds of staleness are tolerated (0 = refetch on every query).
+	RefreshTTL  float64
+	lastRefresh float64
+	haveData    bool
+}
+
+// NewCompositeProducer builds a composite over the named table. The
+// composite republishes through its own ProducerServlet at address.
+func NewCompositeProducer(id, address, table string, reg *Registry,
+	resolve func(string) (*ProducerServlet, error)) *CompositeProducer {
+	cp := &CompositeProducer{
+		ID:       id,
+		Table:    table,
+		Address:  address,
+		registry: reg,
+		resolve:  resolve,
+		servlet:  NewProducerServlet(address),
+	}
+	cp.producer = NewProducer(id, table, MonitoringSchema)
+	cp.servlet.Host(cp.producer)
+	cp.lastRefresh = -1
+	return cp
+}
+
+// Servlet exposes the composite's own producer servlet (for registering
+// the composite with a Registry, or serving it over a transport).
+func (cp *CompositeProducer) Servlet() *ProducerServlet { return cp.servlet }
+
+// Refresh pulls the current rows of the aggregated table from every
+// registered producer servlet and republishes the union. It returns the
+// number of upstream servlets contacted.
+func (cp *CompositeProducer) Refresh(now float64) (int, QueryStats, error) {
+	var st QueryStats
+	ads, lookupStats, err := cp.registry.LookupProducersStats(cp.Table, now)
+	st.RegistryLookups++
+	st.Add(lookupStats)
+	if err != nil {
+		return 0, st, err
+	}
+	var rows [][]relational.Value
+	seen := make(map[string]bool)
+	contacted := 0
+	sql := fmt.Sprintf("SELECT * FROM %s", cp.Table)
+	for _, ad := range ads {
+		if ad.ProducerID == cp.ID {
+			continue // never aggregate ourselves
+		}
+		if seen[ad.Address] {
+			continue
+		}
+		seen[ad.Address] = true
+		pserv, err := cp.resolve(ad.Address)
+		if err != nil {
+			return contacted, st, err
+		}
+		res, pStats, err := pserv.Query(now, sql)
+		contacted++
+		st.ProducersContacted++
+		st.Add(pStats)
+		if err != nil {
+			return contacted, st, err
+		}
+		rows = append(rows, res.Rows...)
+	}
+	cp.producer.Publish(rows)
+	cp.lastRefresh = now
+	cp.haveData = true
+	return contacted, st, nil
+}
+
+// Query answers a SQL SELECT from the composite's local copy, refreshing
+// from upstream first when the cached data is older than RefreshTTL. This
+// is the aggregated-form serving the paper describes.
+func (cp *CompositeProducer) Query(now float64, sql string) (*relational.Result, QueryStats, error) {
+	var st QueryStats
+	if !cp.haveData || now-cp.lastRefresh > cp.RefreshTTL {
+		_, rSt, err := cp.Refresh(now)
+		st.Add(rSt)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	res, qSt, err := cp.servlet.Query(now, sql)
+	st.Add(qSt)
+	return res, st, err
+}
+
+// Advertisements describes the composite for Registry registration: it
+// offers the whole table (no predicate), an aggregated source downstream
+// consumers can use in place of the per-resource producers.
+func (cp *CompositeProducer) Advertisements() []gma.Advertisement {
+	return cp.servlet.Advertisements()
+}

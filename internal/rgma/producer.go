@@ -1,0 +1,109 @@
+// Package rgma implements the European DataGrid's Relational Grid
+// Monitoring Architecture (R-GMA): Producers that publish rows of
+// relational tables, ProducerServlets that serve them, a Registry backed
+// by an RDBMS, and ConsumerServlets that mediate SQL queries — locating
+// producers through the Registry and merging their answers.
+package rgma
+
+import (
+	"fmt"
+
+	"repro/internal/gma"
+	"repro/internal/relational"
+)
+
+// Producer publishes rows of one table, qualified by a fixed predicate
+// (its identity). In the paper's setup each ProducerServlet hosts ten
+// local Producers.
+type Producer struct {
+	ID        string
+	Table     string
+	Predicate string
+	// Refresh, when non-nil, regenerates the producer's rows at time now
+	// (a streaming sensor); otherwise rows are static after Publish.
+	Refresh func(now float64) [][]relational.Value
+
+	schema  []relational.Column
+	rows    [][]relational.Value
+	lastGen float64
+	hub     *streamHub
+}
+
+// NewProducer creates a producer of the given table with a column schema.
+func NewProducer(id, table string, cols []relational.Column) *Producer {
+	return &Producer{ID: id, Table: table, schema: cols, lastGen: -1}
+}
+
+// Advertisement describes the producer for Registry registration.
+func (p *Producer) Advertisement() gma.Advertisement {
+	return gma.Advertisement{
+		ProducerID: p.ID,
+		TableName:  p.Table,
+		Predicate:  p.Predicate,
+	}
+}
+
+// Schema returns the producer's column schema.
+func (p *Producer) Schema() []relational.Column { return p.schema }
+
+// Publish replaces the producer's rows and pushes them to any attached
+// subscriptions (the push model of GMA).
+func (p *Producer) Publish(rows [][]relational.Value) {
+	p.rows = rows
+	p.publish(rows)
+}
+
+// Rows returns the producer's current rows, refreshing once per distinct
+// time instant when a Refresh function is set.
+func (p *Producer) Rows(now float64) [][]relational.Value {
+	if p.Refresh != nil && now != p.lastGen {
+		p.rows = p.Refresh(now)
+		p.lastGen = now
+		p.publish(p.rows)
+	}
+	return p.rows
+}
+
+// MonitoringSchema is the table layout the paper-style producers publish:
+// per-host monitoring samples.
+var MonitoringSchema = []relational.Column{
+	{Name: "host", Type: relational.StringType},
+	{Name: "metric", Type: relational.StringType},
+	{Name: "value", Type: relational.RealType},
+	{Name: "ts", Type: relational.IntType},
+}
+
+// NewMonitoringProducer builds a producer that publishes nMetrics
+// monitoring rows for host into the given table, regenerating values each
+// time instant like a live sensor.
+func NewMonitoringProducer(id, table, host string, nMetrics int) *Producer {
+	p := NewProducer(id, table, MonitoringSchema)
+	p.Predicate = fmt.Sprintf("host = '%s'", host)
+	p.Refresh = func(now float64) [][]relational.Value {
+		rows := make([][]relational.Value, 0, nMetrics)
+		for m := 0; m < nMetrics; m++ {
+			rows = append(rows, []relational.Value{
+				relational.StrVal(host),
+				relational.StrVal(fmt.Sprintf("metric-%02d", m)),
+				relational.RealVal(100 * sensor(now, host, uint64(m))),
+				relational.IntVal(int64(now)),
+			})
+		}
+		return rows
+	}
+	return p
+}
+
+// sensor is deterministic pseudo-variation in [0,1).
+func sensor(now float64, host string, stream uint64) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(host); i++ {
+		h = (h ^ uint64(host[i])) * 1099511628211
+	}
+	h ^= stream * 0x9e3779b97f4a7c15
+	h ^= uint64(int64(now)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}

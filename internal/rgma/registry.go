@@ -1,0 +1,158 @@
+package rgma
+
+import (
+	"fmt"
+
+	"repro/internal/gma"
+	"repro/internal/relational"
+)
+
+// QueryStats counts the work an R-GMA component performed for one request.
+type QueryStats struct {
+	// RowsScanned counts rows examined by SQL execution.
+	RowsScanned int
+	// RowsReturned counts result rows.
+	RowsReturned int
+	// ResponseBytes is the serialized result size.
+	ResponseBytes int
+	// ProducersContacted counts the producer servlet round trips a
+	// mediated query performed.
+	ProducersContacted int
+	// RegistryLookups counts Registry consultations.
+	RegistryLookups int
+	// ThreadSpawns counts servlet worker threads created (the Java
+	// overhead the paper blames for the Registry's lower throughput).
+	ThreadSpawns int
+}
+
+// Add accumulates other into s.
+func (s *QueryStats) Add(o QueryStats) {
+	s.RowsScanned += o.RowsScanned
+	s.RowsReturned += o.RowsReturned
+	s.ResponseBytes += o.ResponseBytes
+	s.ProducersContacted += o.ProducersContacted
+	s.RegistryLookups += o.RegistryLookups
+	s.ThreadSpawns += o.ThreadSpawns
+}
+
+// Registry is R-GMA's directory: producer advertisements held in an
+// RDBMS. Producers register a table name and their fixed predicate; the
+// Registry answers Consumer lookups with the matching producers. It
+// implements gma.Registry.
+type Registry struct {
+	Name string
+
+	db *relational.DB
+}
+
+var _ gma.Registry = (*Registry)(nil)
+
+// NewRegistry creates an empty registry with its backing database.
+func NewRegistry(name string) *Registry {
+	db := relational.NewDB()
+	if _, err := db.CreateTable("producers", []relational.Column{
+		{Name: "producer_id", Type: relational.StringType},
+		{Name: "address", Type: relational.StringType},
+		{Name: "table_name", Type: relational.StringType},
+		{Name: "predicate", Type: relational.StringType},
+		{Name: "expires", Type: relational.RealType},
+	}); err != nil {
+		panic(err) // fresh database cannot collide
+	}
+	t, _ := db.Table("producers")
+	if err := t.CreateIndex("table_name"); err != nil {
+		panic(err)
+	}
+	return &Registry{Name: name, db: db}
+}
+
+// RegisterProducer records or renews an advertisement with a soft-state
+// lifetime of ttl seconds.
+func (r *Registry) RegisterProducer(ad gma.Advertisement, now, ttl float64) error {
+	if ad.ProducerID == "" || ad.TableName == "" {
+		return fmt.Errorf("rgma: advertisement needs producer id and table name")
+	}
+	t, _ := r.db.Table("producers")
+	// Replace any previous registration for this producer.
+	t.DeleteWhere(func(row []relational.Value) bool {
+		return row[0].S == ad.ProducerID
+	})
+	return t.Insert([]relational.Value{
+		relational.StrVal(ad.ProducerID),
+		relational.StrVal(ad.Address),
+		relational.StrVal(ad.TableName),
+		relational.StrVal(ad.Predicate),
+		relational.RealVal(now + ttl),
+	})
+}
+
+// UnregisterProducer removes a producer's advertisement.
+func (r *Registry) UnregisterProducer(producerID string, now float64) bool {
+	t, _ := r.db.Table("producers")
+	return t.DeleteWhere(func(row []relational.Value) bool {
+		return row[0].S == producerID
+	}) > 0
+}
+
+// expire drops advertisements whose soft state lapsed.
+func (r *Registry) expire(now float64) {
+	t, _ := r.db.Table("producers")
+	t.DeleteWhere(func(row []relational.Value) bool {
+		return row[4].R <= now
+	})
+}
+
+// LookupProducers returns the live advertisements for a table via the
+// registry's table-name index.
+func (r *Registry) LookupProducers(table string, now float64) ([]gma.Advertisement, error) {
+	ads, _, err := r.LookupProducersStats(table, now)
+	return ads, err
+}
+
+// LookupProducersStats is LookupProducers with work accounting.
+func (r *Registry) LookupProducersStats(table string, now float64) ([]gma.Advertisement, QueryStats, error) {
+	r.expire(now)
+	t, _ := r.db.Table("producers")
+	rows, indexed := t.LookupIndexed("table_name", relational.StrVal(table))
+	st := QueryStats{ThreadSpawns: 1}
+	if !indexed {
+		return nil, st, fmt.Errorf("rgma: registry index missing")
+	}
+	var out []gma.Advertisement
+	for _, row := range rows {
+		st.RowsScanned++
+		out = append(out, gma.Advertisement{
+			ProducerID: row[0].S,
+			Address:    row[1].S,
+			TableName:  row[2].S,
+			Predicate:  row[3].S,
+		})
+	}
+	st.RowsReturned = len(out)
+	st.ResponseBytes = relational.SizeBytes(rows)
+	return out, st, nil
+}
+
+// Tables lists the distinct tables currently advertised, sorted.
+func (r *Registry) Tables(now float64) []string {
+	r.expire(now)
+	res, err := r.db.Exec("SELECT table_name FROM producers ORDER BY table_name")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, row := range res.Rows {
+		name := row[0].S
+		if len(out) == 0 || out[len(out)-1] != name {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// NumRegistered reports the number of live advertisements.
+func (r *Registry) NumRegistered(now float64) int {
+	r.expire(now)
+	t, _ := r.db.Table("producers")
+	return t.Len()
+}

@@ -1,0 +1,266 @@
+package rgma
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gma"
+	"repro/internal/relational"
+)
+
+// newSetup builds the paper's Experiment-Set-1 R-GMA deployment: one
+// ProducerServlet with ten local monitoring producers, one Registry, one
+// ConsumerServlet.
+func newSetup(t *testing.T) (*Registry, *ProducerServlet, *ConsumerServlet) {
+	t.Helper()
+	reg := NewRegistry("lucky1")
+	pserv := NewProducerServlet("lucky3:8080")
+	for i := 0; i < 10; i++ {
+		p := NewMonitoringProducer(fmt.Sprintf("prod-%d", i), "siteinfo", fmt.Sprintf("host%d", i), 5)
+		pserv.Host(p)
+	}
+	for _, ad := range pserv.Advertisements() {
+		if err := reg.RegisterProducer(ad, 0, 600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cserv := NewConsumerServlet("uc00:8080", reg, func(addr string) (*ProducerServlet, error) {
+		if addr == pserv.Address {
+			return pserv, nil
+		}
+		return nil, fmt.Errorf("unknown address %q", addr)
+	})
+	return reg, pserv, cserv
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	reg, pserv, _ := newSetup(t)
+	if n := reg.NumRegistered(1); n != 10 {
+		t.Fatalf("registered = %d, want 10", n)
+	}
+	ads, err := reg.LookupProducers("siteinfo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 10 {
+		t.Fatalf("lookup = %d ads, want 10", len(ads))
+	}
+	if ads[0].Address != pserv.Address {
+		t.Fatalf("address = %q", ads[0].Address)
+	}
+}
+
+func TestRegistryRenewalReplaces(t *testing.T) {
+	reg, pserv, _ := newSetup(t)
+	for _, ad := range pserv.Advertisements() {
+		if err := reg.RegisterProducer(ad, 100, 600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := reg.NumRegistered(101); n != 10 {
+		t.Fatalf("after renewal registered = %d, want 10", n)
+	}
+}
+
+func TestRegistrySoftStateExpiry(t *testing.T) {
+	reg, _, _ := newSetup(t)
+	if n := reg.NumRegistered(601); n != 0 {
+		t.Fatalf("registered after expiry = %d, want 0", n)
+	}
+	ads, _ := reg.LookupProducers("siteinfo", 601)
+	if len(ads) != 0 {
+		t.Fatalf("expired lookup returned %d ads", len(ads))
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	reg, _, _ := newSetup(t)
+	if !reg.UnregisterProducer("prod-3", 1) {
+		t.Fatal("unregister failed")
+	}
+	if reg.UnregisterProducer("prod-3", 1) {
+		t.Fatal("double unregister succeeded")
+	}
+	if n := reg.NumRegistered(1); n != 9 {
+		t.Fatalf("registered = %d, want 9", n)
+	}
+}
+
+func TestRegistryRejectsBlankAd(t *testing.T) {
+	reg := NewRegistry("r")
+	if err := reg.RegisterProducer(gma.Advertisement{}, 0, 60); err == nil {
+		t.Fatal("blank advertisement accepted")
+	}
+}
+
+func TestRegistryTables(t *testing.T) {
+	reg, _, _ := newSetup(t)
+	other := NewProducer("px", "netinfo", MonitoringSchema)
+	if err := reg.RegisterProducer(other.Advertisement(), 0, 600); err != nil {
+		t.Fatal(err)
+	}
+	tables := reg.Tables(1)
+	if len(tables) != 2 || tables[0] != "netinfo" || tables[1] != "siteinfo" {
+		t.Fatalf("tables = %v", tables)
+	}
+}
+
+func TestProducerServletQuery(t *testing.T) {
+	_, pserv, _ := newSetup(t)
+	res, st, err := pserv.Query(1, "SELECT * FROM siteinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 producers x 5 metrics.
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(res.Rows))
+	}
+	if st.RowsReturned != 50 || st.ResponseBytes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ThreadSpawns != 1 {
+		t.Fatalf("thread spawns = %d, want 1", st.ThreadSpawns)
+	}
+}
+
+func TestProducerServletQueryWithPredicate(t *testing.T) {
+	_, pserv, _ := newSetup(t)
+	res, _, err := pserv.Query(1, "SELECT metric, value FROM siteinfo WHERE host = 'host3'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	if len(res.Columns) != 2 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestProducerServletRejectsNonSelect(t *testing.T) {
+	_, pserv, _ := newSetup(t)
+	if _, _, err := pserv.Query(1, "DELETE FROM siteinfo"); err == nil {
+		t.Fatal("non-SELECT accepted")
+	}
+}
+
+func TestProducerServletUnknownTable(t *testing.T) {
+	_, pserv, _ := newSetup(t)
+	if _, _, err := pserv.Query(1, "SELECT * FROM nosuch"); err == nil {
+		t.Fatal("unknown table query succeeded")
+	}
+}
+
+func TestConsumerServletMediatesQuery(t *testing.T) {
+	_, _, cserv := newSetup(t)
+	res, st, err := cserv.Query(1, "SELECT * FROM siteinfo WHERE value >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(res.Rows))
+	}
+	if st.RegistryLookups != 1 {
+		t.Fatalf("registry lookups = %d, want 1", st.RegistryLookups)
+	}
+	if st.ProducersContacted != 1 {
+		t.Fatalf("producer servlets contacted = %d, want 1 (all producers share one servlet)", st.ProducersContacted)
+	}
+}
+
+func TestConsumerServletNoProducers(t *testing.T) {
+	_, _, cserv := newSetup(t)
+	if _, _, err := cserv.Query(1, "SELECT * FROM unregistered"); err == nil {
+		t.Fatal("query for unregistered table succeeded")
+	}
+}
+
+func TestConsumerServletFanOutAcrossServlets(t *testing.T) {
+	// Five producer servlets (the paper's directory-server setup) each
+	// with 10 producers of the same table.
+	reg := NewRegistry("lucky1")
+	servlets := map[string]*ProducerServlet{}
+	for s := 0; s < 5; s++ {
+		addr := fmt.Sprintf("lucky%d:8080", s+3)
+		ps := NewProducerServlet(addr)
+		for i := 0; i < 10; i++ {
+			ps.Host(NewMonitoringProducer(fmt.Sprintf("p%d-%d", s, i), "siteinfo",
+				fmt.Sprintf("host%d-%d", s, i), 3))
+		}
+		servlets[addr] = ps
+		for _, ad := range ps.Advertisements() {
+			if err := reg.RegisterProducer(ad, 0, 600); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cserv := NewConsumerServlet("uc00:8080", reg, func(addr string) (*ProducerServlet, error) {
+		ps, ok := servlets[addr]
+		if !ok {
+			return nil, fmt.Errorf("unknown %q", addr)
+		}
+		return ps, nil
+	})
+	res, st, err := cserv.Query(1, "SELECT * FROM siteinfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ProducersContacted != 5 {
+		t.Fatalf("servlets contacted = %d, want 5", st.ProducersContacted)
+	}
+	if len(res.Rows) != 5*10*3 {
+		t.Fatalf("rows = %d, want 150", len(res.Rows))
+	}
+}
+
+func TestConsumerServletAttachCap(t *testing.T) {
+	_, _, cserv := newSetup(t)
+	cserv.MaxConsumers = 2
+	if err := cserv.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cserv.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cserv.Attach(); err == nil {
+		t.Fatal("attach past cap succeeded")
+	}
+	cserv.Detach()
+	if err := cserv.Attach(); err != nil {
+		t.Fatal("attach after detach failed")
+	}
+	if cserv.Attached() != 2 {
+		t.Fatalf("attached = %d", cserv.Attached())
+	}
+}
+
+func TestProducerRefreshOncePerInstant(t *testing.T) {
+	p := NewMonitoringProducer("p", "t", "h", 3)
+	r1 := p.Rows(5)
+	r2 := p.Rows(5)
+	if &r1[0] != &r2[0] {
+		t.Fatal("same-instant rows regenerated")
+	}
+	_ = p.Rows(6) // different instant regenerates
+}
+
+func TestMonitoringProducerPredicate(t *testing.T) {
+	p := NewMonitoringProducer("p", "t", "lucky3", 1)
+	if !strings.Contains(p.Predicate, "lucky3") {
+		t.Fatalf("predicate = %q", p.Predicate)
+	}
+	ad := p.Advertisement()
+	if ad.TableName != "t" || ad.ProducerID != "p" {
+		t.Fatalf("ad = %+v", ad)
+	}
+}
+
+func TestStaticProducerPublish(t *testing.T) {
+	p := NewProducer("p", "t", []relational.Column{{Name: "x", Type: relational.IntType}})
+	p.Publish([][]relational.Value{{relational.IntVal(42)}})
+	rows := p.Rows(0)
+	if len(rows) != 1 || rows[0][0].I != 42 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

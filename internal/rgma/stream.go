@@ -1,0 +1,130 @@
+package rgma
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// R-GMA supports both pull and push: "a user can subscribe to a flow of
+// data with specific properties directly from a data source" (the paper,
+// Sections 2.2 and 3.7). This file implements the push half: continuous
+// queries registered against producers, delivering matching rows as they
+// are published.
+
+// Subscription is a continuous query over one table: whenever a
+// subscribed producer publishes rows, those matching the predicate are
+// delivered.
+type Subscription struct {
+	ID string
+	// Where filters rows (nil delivers everything). It is evaluated
+	// against the producer's schema.
+	Where relational.BoolExpr
+	// Deliver receives matching rows; it must not retain the slice.
+	Deliver func(producerID string, rows [][]relational.Value)
+}
+
+// streamHub fans published rows out to subscribers. Each Producer owns
+// one.
+type streamHub struct {
+	subs []*Subscription
+}
+
+// Subscribe attaches a continuous query to the producer. Future Publish
+// calls (and Refresh-driven regenerations) deliver matching rows.
+func (p *Producer) Subscribe(sub *Subscription) {
+	if p.hub == nil {
+		p.hub = &streamHub{}
+	}
+	p.hub.subs = append(p.hub.subs, sub)
+}
+
+// Unsubscribe detaches the subscription, reporting whether it was
+// attached.
+func (p *Producer) Unsubscribe(id string) bool {
+	if p.hub == nil {
+		return false
+	}
+	for i, s := range p.hub.subs {
+		if s.ID == id {
+			p.hub.subs = append(p.hub.subs[:i], p.hub.subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Subscribers reports the number of attached continuous queries.
+func (p *Producer) Subscribers() int {
+	if p.hub == nil {
+		return 0
+	}
+	return len(p.hub.subs)
+}
+
+// publish routes newly published rows to subscribers.
+func (p *Producer) publish(rows [][]relational.Value) {
+	if p.hub == nil || len(rows) == 0 {
+		return
+	}
+	schema := relational.Schema{Columns: p.schema}
+	for _, sub := range p.hub.subs {
+		var matched [][]relational.Value
+		for _, row := range rows {
+			if sub.Where != nil {
+				ok, err := sub.Where.Eval(&schema, row)
+				if err != nil || !ok {
+					continue
+				}
+			}
+			matched = append(matched, row)
+		}
+		if len(matched) > 0 && sub.Deliver != nil {
+			sub.Deliver(p.ID, matched)
+		}
+	}
+}
+
+// ParseWhere parses a SQL WHERE fragment into a predicate usable in a
+// Subscription, by parsing "SELECT * FROM t WHERE <frag>".
+func ParseWhere(frag string) (relational.BoolExpr, error) {
+	stmt, err := relational.Parse("SELECT * FROM streamtable WHERE " + frag)
+	if err != nil {
+		return nil, fmt.Errorf("rgma: bad subscription predicate %q: %v", frag, err)
+	}
+	sel, ok := stmt.(relational.SelectStmt)
+	if !ok || sel.Where == nil {
+		return nil, fmt.Errorf("rgma: bad subscription predicate %q", frag)
+	}
+	return sel.Where, nil
+}
+
+// SubscribeAll attaches the subscription to every producer of the table
+// known to the registry at time now, via the resolver. It returns the
+// number of producers subscribed.
+func SubscribeAll(reg *Registry, resolve func(string) (*ProducerServlet, error),
+	table string, now float64, sub *Subscription) (int, error) {
+	ads, err := reg.LookupProducers(table, now)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	seen := make(map[string]bool)
+	for _, ad := range ads {
+		if seen[ad.Address] {
+			continue
+		}
+		seen[ad.Address] = true
+		pserv, err := resolve(ad.Address)
+		if err != nil {
+			return count, err
+		}
+		for _, p := range pserv.Producers() {
+			if p.Table == table {
+				p.Subscribe(sub)
+				count++
+			}
+		}
+	}
+	return count, nil
+}

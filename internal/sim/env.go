@@ -1,0 +1,243 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Simulation processes are ordinary goroutines, but the kernel runs exactly
+// one at a time: a process either holds control or is parked on a kernel
+// primitive (Sleep, Signal.Wait, Resource.Acquire, ...). Events scheduled at
+// the same instant fire in scheduling order, so a given program produces the
+// same trajectory on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create one with NewEnv.
+type Env struct {
+	now      float64
+	events   eventHeap
+	seq      uint64
+	yielded  chan struct{}
+	procs    []*Proc
+	running  bool
+	stopped  bool
+	nStarted int
+}
+
+// NewEnv returns an environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yielded: make(chan struct{})}
+}
+
+// Now reports the current simulation time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (seq breaks ties), which keeps runs deterministic.
+type event struct {
+	t        float64
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule enqueues fn to run at absolute time t. Scheduling in the past
+// panics: it always indicates a bug in the caller.
+func (e *Env) schedule(t float64, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now and returns a handle that can
+// be canceled with Cancel.
+func (e *Env) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{ev: e.schedule(e.now+d, fn)}
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from firing. Canceling an
+// already-fired or already-canceled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Run drives the simulation until the event queue empties or the clock
+// passes until. It leaves the clock at min(until, time of last event), and
+// then terminates any still-parked processes.
+func (e *Env) Run(until float64) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.t > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	e.running = false
+	e.shutdown()
+}
+
+// RunAll drives the simulation until no events remain.
+func (e *Env) RunAll() {
+	if e.running {
+		panic("sim: RunAll called re-entrantly")
+	}
+	e.running = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		ev.fn()
+	}
+	e.running = false
+	e.shutdown()
+}
+
+// shutdown kills every process still parked on a primitive so that Run does
+// not leak goroutines.
+func (e *Env) shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, p := range e.procs {
+		if !p.finished && p.started {
+			p.kill = true
+			e.resumeProc(p)
+		}
+	}
+	e.procs = nil
+}
+
+// killed is the sentinel panic value used to unwind a process during
+// environment shutdown.
+type killedPanic struct{}
+
+// Proc is a simulation process: a goroutine scheduled by the kernel. All of
+// its blocking methods (Sleep, and the Wait/Acquire/Get methods on the
+// kernel's synchronization types) must be called only from the process's own
+// goroutine.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan struct{}
+	started  bool
+	finished bool
+	kill     bool
+	timedOut bool // result of the last WaitTimeout-style call
+}
+
+// Name reports the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the owning environment.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now reports current simulation time.
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Go starts fn as a new process at the current simulation time.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			p.finished = true
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); ok {
+					e.yielded <- struct{}{}
+					return
+				}
+				// Re-panic on the kernel goroutine would deadlock; annotate
+				// and crash here so the test output names the process.
+				panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+			}
+			e.yielded <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.schedule(e.now, func() {
+		p.started = true
+		e.resumeProc(p)
+	})
+	return p
+}
+
+// resumeProc hands control to p and blocks until p parks or finishes.
+func (e *Env) resumeProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yielded
+}
+
+// park returns control to the kernel and blocks until the kernel resumes
+// this process. It must only be called from p's goroutine after arranging a
+// wakeup.
+func (p *Proc) park() {
+	p.env.yielded <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(killedPanic{})
+	}
+}
+
+// Sleep suspends the process for d seconds of simulated time. Negative
+// durations sleep zero seconds (yielding to other events at the same time).
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	e.schedule(e.now+d, func() { e.resumeProc(p) })
+	p.park()
+}
+
+// Yield lets every other event scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

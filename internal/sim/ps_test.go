@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSSingleJobServedAtFullRate(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 2) // 2 work units per second
+	var done float64
+	e.Go("j", func(p *Proc) {
+		cpu.Consume(p, 4)
+		done = p.Now()
+	})
+	e.RunAll()
+	if math.Abs(done-2) > 1e-6 {
+		t.Fatalf("job done at %v, want 2", done)
+	}
+}
+
+func TestPSTwoJobsShareOneServer(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 1)
+	var d1, d2 float64
+	e.Go("a", func(p *Proc) {
+		cpu.Consume(p, 1)
+		d1 = p.Now()
+	})
+	e.Go("b", func(p *Proc) {
+		cpu.Consume(p, 1)
+		d2 = p.Now()
+	})
+	e.RunAll()
+	// Both jobs run at rate 1/2; both finish at t=2.
+	if math.Abs(d1-2) > 1e-6 || math.Abs(d2-2) > 1e-6 {
+		t.Fatalf("jobs done at %v and %v, want 2 and 2", d1, d2)
+	}
+}
+
+func TestPSTwoCoresServeTwoJobsAtFullRate(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 2, 1)
+	var d1, d2 float64
+	e.Go("a", func(p *Proc) { cpu.Consume(p, 3); d1 = p.Now() })
+	e.Go("b", func(p *Proc) { cpu.Consume(p, 3); d2 = p.Now() })
+	e.RunAll()
+	if math.Abs(d1-3) > 1e-6 || math.Abs(d2-3) > 1e-6 {
+		t.Fatalf("done at %v/%v, want 3/3", d1, d2)
+	}
+}
+
+func TestPSUnequalDemands(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 1)
+	var dShort, dLong float64
+	e.Go("short", func(p *Proc) { cpu.Consume(p, 1); dShort = p.Now() })
+	e.Go("long", func(p *Proc) { cpu.Consume(p, 3); dLong = p.Now() })
+	e.RunAll()
+	// Shared until short finishes: short needs 1 unit at rate 1/2 -> t=2.
+	// Long has 1 unit served by t=2, then 2 remaining at full rate -> t=4.
+	if math.Abs(dShort-2) > 1e-6 {
+		t.Fatalf("short done at %v, want 2", dShort)
+	}
+	if math.Abs(dLong-4) > 1e-6 {
+		t.Fatalf("long done at %v, want 4", dLong)
+	}
+}
+
+func TestPSLateArrivalSlowsService(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 1)
+	var d1 float64
+	e.Go("first", func(p *Proc) { cpu.Consume(p, 2); d1 = p.Now() })
+	e.Go("second", func(p *Proc) {
+		p.Sleep(1)
+		cpu.Consume(p, 10)
+	})
+	e.Run(100)
+	// First runs alone for 1s (1 unit served), shares for the last unit:
+	// remaining 1 unit at rate 1/2 -> finishes at t=3.
+	if math.Abs(d1-3) > 1e-6 {
+		t.Fatalf("first done at %v, want 3", d1)
+	}
+}
+
+func TestPSZeroDemandReturnsImmediately(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 1)
+	var at float64 = -1
+	e.Go("z", func(p *Proc) {
+		cpu.Consume(p, 0)
+		at = p.Now()
+	})
+	e.RunAll()
+	if at != 0 {
+		t.Fatalf("zero-demand consume finished at %v, want 0", at)
+	}
+}
+
+func TestPSUtilization(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 2, 1)
+	e.Go("a", func(p *Proc) { cpu.Consume(p, 2) }) // busy 1 of 2 cores for 2s
+	e.Run(4)
+	// Utilization: 0.5 for t in [0,2), 0 for [2,4) -> mean 0.25.
+	if u := cpu.Utilization(); math.Abs(u-0.25) > 1e-6 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestPSOnCountHook(t *testing.T) {
+	e := NewEnv()
+	cpu := NewPS(e, 1, 1)
+	var counts []int
+	cpu.OnCount = func(_ float64, n int) { counts = append(counts, n) }
+	e.Go("a", func(p *Proc) { cpu.Consume(p, 1) })
+	e.Go("b", func(p *Proc) { cpu.Consume(p, 1) })
+	e.RunAll()
+	// 1 (a arrives), 2 (b arrives), 0 (both complete together).
+	want := []int{1, 2, 0}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+// Property: processor sharing conserves work — the total time to drain n
+// equal jobs on a single server equals total demand / rate regardless of n.
+func TestPSWorkConservationProperty(t *testing.T) {
+	f := func(nJobs uint8, demandCenti uint16) bool {
+		n := int(nJobs%8) + 1
+		demand := float64(demandCenti%1000)/100 + 0.01
+		e := NewEnv()
+		cpu := NewPS(e, 1, 1)
+		var last float64
+		for i := 0; i < n; i++ {
+			e.Go("j", func(p *Proc) {
+				cpu.Consume(p, demand)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		e.RunAll()
+		want := demand * float64(n)
+		return math.Abs(last-want) < 1e-6*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Reset(0, 0)
+	w.Set(1, 10)                              // value 0 over [0,1)
+	w.Set(3, 0)                               // value 10 over [1,3)
+	if m := w.Mean(4); math.Abs(m-5) > 1e-9 { // integral 20 over 4s
+		t.Fatalf("mean = %v, want 5", m)
+	}
+}
+
+func TestTimeWeightedSameInstantOverride(t *testing.T) {
+	var w TimeWeighted
+	w.Reset(0, 0)
+	w.Set(1, 5)
+	w.Set(1, 7) // overrides at the same instant; no area from value 5
+	if m := w.Mean(2); math.Abs(m-3.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 3.5", m)
+	}
+}
+
+func TestDampedConvergesToInput(t *testing.T) {
+	d := NewDamped(60, 0)
+	d.Observe(0, 4)
+	// After many time constants the average approaches the input.
+	if v := d.Value(600); math.Abs(v-4) > 1e-3 {
+		t.Fatalf("damped value = %v, want ~4", v)
+	}
+}
+
+func TestDampedNeverOvershoots(t *testing.T) {
+	d := NewDamped(60, 0)
+	d.Observe(0, 1)
+	for ts := 1; ts <= 300; ts++ {
+		v := d.Value(float64(ts))
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("damped value %v out of [0,1] at t=%d", v, ts)
+		}
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~2", mean)
+	}
+}

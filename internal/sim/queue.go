@@ -1,0 +1,72 @@
+package sim
+
+// Queue is a FIFO channel between simulation processes. A zero or negative
+// capacity means unbounded. Get blocks when the queue is empty; Put blocks
+// when a bounded queue is full.
+type Queue struct {
+	env      *Env
+	cap      int
+	items    []interface{}
+	notEmpty *Signal
+	notFull  *Signal
+}
+
+// NewQueue returns a queue with the given capacity (<= 0 for unbounded).
+func NewQueue(env *Env, capacity int) *Queue {
+	return &Queue{
+		env:      env,
+		cap:      capacity,
+		notEmpty: NewSignal(env),
+		notFull:  NewSignal(env),
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// TryPut appends v if the queue has room, reporting whether it did.
+func (q *Queue) TryPut(v interface{}) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Notify()
+	return true
+}
+
+// Put appends v, blocking while a bounded queue is full.
+func (q *Queue) Put(p *Proc, v interface{}) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.notFull.Wait(p)
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Notify()
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.notEmpty.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Notify()
+	return v
+}
+
+// GetTimeout is like Get but gives up after d seconds, returning (nil,
+// false) on timeout.
+func (q *Queue) GetTimeout(p *Proc, d float64) (interface{}, bool) {
+	deadline := q.env.now + d
+	for len(q.items) == 0 {
+		remain := deadline - q.env.now
+		if remain <= 0 || !q.notEmpty.WaitTimeout(p, remain) {
+			return nil, false
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Notify()
+	return v, true
+}

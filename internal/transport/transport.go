@@ -1,0 +1,233 @@
+// Package transport provides the live-mode wire layer: length-prefixed
+// JSON messages over TCP (or any net.Conn), with a tiny op-dispatch
+// server. The monitoring services' engines are pure request/response
+// logic; this package makes them network services a real client can
+// query, complementing the simulated testbed used for the experiments.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a single message (16 MiB), protecting servers from
+// runaway payloads.
+const MaxFrame = 16 << 20
+
+// Request is a generic service request.
+type Request struct {
+	// Op selects the operation, e.g. "mds.query" or "hawkeye.machines".
+	Op string `json:"op"`
+	// Params carries operation arguments (filter strings, SQL, ...).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Response is a generic service response.
+type Response struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Payload string `json:"payload,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON message.
+func WriteFrame(w io.Writer, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// Handler answers one request. Handlers must be safe for concurrent use;
+// the Server serializes calls per default unless Concurrent is set.
+type Handler func(Request) Response
+
+// Server dispatches framed requests to registered op handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+	// Concurrent allows handlers to run in parallel; by default calls
+	// are serialized, matching the single-backend daemons being modeled.
+	Concurrent bool
+	callMu     sync.Mutex
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a handler for op, replacing any previous one.
+func (s *Server) Handle(op string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[op] = h
+}
+
+// Ops lists registered operation names.
+func (s *Server) Ops() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.handlers))
+	for op := range s.handlers {
+		out = append(out, op)
+	}
+	return out
+}
+
+// dispatch runs the handler for one request.
+func (s *Server) dispatch(req Request) Response {
+	s.mu.Lock()
+	h := s.handlers[req.Op]
+	s.mu.Unlock()
+	if h == nil {
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	if !s.Concurrent {
+		s.callMu.Lock()
+		defer s.callMu.Unlock()
+	}
+	return h(req)
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn answers requests on one connection until it closes.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req Request
+		if err := ReadFrame(r, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if err := WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a connection to a transport server. It is safe for concurrent
+// use; calls are serialized over the single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Call performs one request/response exchange.
+func (c *Client) Call(op string, params map[string]string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.w, Request{Op: op, Params: params}); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	var resp Response
+	if err := ReadFrame(c.r, &resp); err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", errors.New(resp.Error)
+	}
+	return resp.Payload, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Op: "mds.query", Params: map[string]string{"filter": "(a=b)"}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Params["filter"] != "(a=b)" {
+		t.Fatalf("round trip = %+v", out)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	big := Response{OK: true, Payload: strings.Repeat("x", MaxFrame)}
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	// A forged oversized header must be rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out Response
+	if err := ReadFrame(&buf, &out); err == nil {
+		t.Fatal("oversized header accepted")
+	}
+}
+
+func TestReadFrameShortInput(t *testing.T) {
+	var out Request
+	if err := ReadFrame(strings.NewReader("\x00\x00\x00\x10abc"), &out); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func newEchoServer(t *testing.T) (string, *Server) {
+	t.Helper()
+	srv := NewServer()
+	srv.Handle("echo", func(req Request) Response {
+		return Response{OK: true, Payload: req.Params["msg"]}
+	})
+	srv.Handle("fail", func(Request) Response {
+		return Response{Error: "deliberate failure"}
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr, srv
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got, err := c.Call("echo", map[string]string{"msg": "hello grid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello grid" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("fail", nil); err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("nosuch.op", nil); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestMultipleRequestsPerConnection(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		got, err := c.Call("echo", map[string]string{"msg": msg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != msg {
+			t.Fatalf("call %d = %q", i, got)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := newEchoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for k := 0; k < 10; k++ {
+				want := fmt.Sprintf("c%d-%d", i, k)
+				got, err := c.Call("echo", map[string]string{"msg": want})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- fmt.Errorf("got %q want %q", got, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer()
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // must not panic or deadlock
+}
+
+func TestOpsListing(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("a", func(Request) Response { return Response{OK: true} })
+	srv.Handle("b", func(Request) Response { return Response{OK: true} })
+	if got := srv.Ops(); len(got) != 2 {
+		t.Fatalf("ops = %v", got)
+	}
+}

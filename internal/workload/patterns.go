@@ -1,0 +1,60 @@
+package workload
+
+import "repro/internal/sim"
+
+// The paper's future work includes "additional patterns of user access".
+// Pattern generalizes the fixed one-second wait: each user draws its next
+// think time from the pattern, enabling Poisson users, bursty monitoring
+// sweeps, and heterogeneous mixes.
+
+// Pattern produces the think time before a user's next query.
+type Pattern interface {
+	// NextThink returns the seconds to wait after a response before the
+	// next query, using the user's private RNG.
+	NextThink(rng *sim.RNG) float64
+}
+
+// FixedThink is the paper's pattern: a constant wait (1 second in every
+// experiment).
+type FixedThink struct{ Seconds float64 }
+
+// NextThink returns the constant wait.
+func (f FixedThink) NextThink(*sim.RNG) float64 { return f.Seconds }
+
+// PoissonThink models independent users arriving at exponentially
+// distributed intervals with the given mean think time.
+type PoissonThink struct{ Mean float64 }
+
+// NextThink draws an exponential wait.
+func (p PoissonThink) NextThink(rng *sim.RNG) float64 { return rng.Exp(p.Mean) }
+
+// BurstyThink models periodic monitoring sweeps: a burst of quick
+// back-to-back queries followed by a long idle gap — a cron-style client
+// polling a set of resources.
+type BurstyThink struct {
+	// BurstLen queries are issued InBurst seconds apart, then the user
+	// idles for Gap seconds.
+	BurstLen int
+	InBurst  float64
+	Gap      float64
+
+	pos int
+}
+
+// NextThink cycles through the burst schedule.
+func (b *BurstyThink) NextThink(*sim.RNG) float64 {
+	b.pos++
+	if b.BurstLen <= 1 {
+		return b.Gap
+	}
+	if b.pos%b.BurstLen == 0 {
+		return b.Gap
+	}
+	return b.InBurst
+}
+
+// ThinkFunc adapts a function to the Pattern interface.
+type ThinkFunc func(rng *sim.RNG) float64
+
+// NextThink calls the function.
+func (f ThinkFunc) NextThink(rng *sim.RNG) float64 { return f(rng) }

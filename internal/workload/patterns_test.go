@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func TestFixedThink(t *testing.T) {
+	p := FixedThink{Seconds: 2.5}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 5; i++ {
+		if got := p.NextThink(rng); got != 2.5 {
+			t.Fatalf("NextThink = %v", got)
+		}
+	}
+}
+
+func TestPoissonThinkMean(t *testing.T) {
+	p := PoissonThink{Mean: 2}
+	rng := sim.NewRNG(7)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.NextThink(rng)
+	}
+	if mean := sum / n; math.Abs(mean-2) > 0.1 {
+		t.Fatalf("Poisson mean = %v, want ~2", mean)
+	}
+}
+
+func TestBurstyThinkSchedule(t *testing.T) {
+	b := &BurstyThink{BurstLen: 3, InBurst: 0.1, Gap: 30}
+	rng := sim.NewRNG(1)
+	var seq []float64
+	for i := 0; i < 6; i++ {
+		seq = append(seq, b.NextThink(rng))
+	}
+	// Two in-burst waits, then a gap, repeating.
+	want := []float64{0.1, 0.1, 30, 0.1, 0.1, 30}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("burst sequence = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestThinkFuncAdapter(t *testing.T) {
+	p := ThinkFunc(func(*sim.RNG) float64 { return 7 })
+	if p.NextThink(nil) != 7 {
+		t.Fatal("adapter broken")
+	}
+}
+
+func TestUserWithPoissonPattern(t *testing.T) {
+	// A Poisson user with the same mean think time completes a similar
+	// number of queries as a fixed-think user over a long window.
+	run := func(pattern Pattern) int {
+		env := sim.NewEnv()
+		tb := cluster.NewTestbed(env)
+		srv := node.NewServer(env, tb.Host("lucky7"), tb.Network, node.Config{Workers: 4, Backlog: 16})
+		rec := metrics.NewRecorder(0, 600)
+		u := &User{
+			ID: 0, Machine: tb.Clients[0], Server: srv,
+			Query:    func(float64) (node.Demand, error) { return node.Demand{CPUSeconds: 0.01}, nil },
+			Recorder: rec,
+			Think:    pattern,
+		}
+		u.Start(env)
+		env.Run(600)
+		return rec.Completed()
+	}
+	fixed := run(FixedThink{Seconds: 1})
+	poisson := run(PoissonThink{Mean: 1})
+	if poisson < fixed/2 || poisson > fixed*2 {
+		t.Fatalf("poisson completed %d vs fixed %d — same mean should be comparable", poisson, fixed)
+	}
+}
+
+func TestBurstyUserIdlesBetweenBursts(t *testing.T) {
+	env := sim.NewEnv()
+	tb := cluster.NewTestbed(env)
+	srv := node.NewServer(env, tb.Host("lucky7"), tb.Network, node.Config{Workers: 4, Backlog: 16})
+	u := &User{
+		ID: 0, Machine: tb.Clients[0], Server: srv,
+		Query: func(float64) (node.Demand, error) { return node.Demand{}, nil },
+		Think: &BurstyThink{BurstLen: 5, InBurst: 0.01, Gap: 60},
+	}
+	u.Start(env)
+	env.Run(300)
+	// ~5 bursts of 5 queries in 300s.
+	if u.Completed < 15 || u.Completed > 40 {
+		t.Fatalf("bursty user completed %d, want ~25", u.Completed)
+	}
+}
+
+func TestNegativeThinkClamped(t *testing.T) {
+	env := sim.NewEnv()
+	tb := cluster.NewTestbed(env)
+	srv := node.NewServer(env, tb.Host("lucky7"), tb.Network, node.Config{Workers: 4, Backlog: 16})
+	u := &User{
+		ID: 0, Machine: tb.Clients[0], Server: srv,
+		Query: func(float64) (node.Demand, error) { return node.Demand{}, nil },
+		Think: ThinkFunc(func(*sim.RNG) float64 { return -5 }),
+		Until: 1,
+	}
+	u.Start(env)
+	env.Run(2) // must terminate despite zero think time (Until applies)
+	if u.Completed == 0 {
+		t.Fatal("no queries completed")
+	}
+}

@@ -1,0 +1,170 @@
+// Package workload drives simulated users against service nodes the way
+// the paper's client scripts did: each user issues a blocking query, waits
+// one second after the response, and repeats. Connection refusals are
+// retried with TCP-style exponential backoff, which is what turns
+// overload into the post-threshold load collapse the paper reports.
+package workload
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Paper measurement constants.
+const (
+	// ThinkTime is the one-second wait between receiving a response and
+	// sending the next query.
+	ThinkTime = 1.0
+	// InitialBackoff and MaxBackoff bound the retry backoff after a
+	// refused connection (TCP SYN retransmission behavior).
+	InitialBackoff = 3.0
+	MaxBackoff     = 120.0
+	// MaxUsersPerClientMachine is the paper's cap of 50 simulated users
+	// per client machine.
+	MaxUsersPerClientMachine = 50
+)
+
+// Query issues one request and returns its demand outcome. It runs the
+// real service logic (at simulation-time `now`) and converts the work
+// performed into testbed demand.
+type Query func(now float64) (node.Demand, error)
+
+// User is one simulated user process.
+type User struct {
+	ID       int
+	Machine  *cluster.Machine
+	Server   *node.Server
+	Query    Query
+	Recorder *metrics.Recorder
+	// Seed decorrelates user start times and backoff jitter.
+	Seed uint64
+	// Until stops the user after this simulation time (0 = run for the
+	// whole simulation).
+	Until float64
+	// Think overrides the paper's fixed one-second wait when non-nil,
+	// enabling other access patterns (Poisson, bursty).
+	Think Pattern
+
+	// Stats.
+	Completed int
+	Failures  int
+}
+
+// Start launches the user's query loop on env.
+func (u *User) Start(env *sim.Env) {
+	env.Go(userName(u.ID), func(p *sim.Proc) {
+		rng := sim.NewRNG(0x9E3779B97F4A7C15 ^ u.Seed ^ uint64(u.ID))
+		// Stagger start-up over the first think time so users do not
+		// arrive in lockstep.
+		p.Sleep(rng.Uniform(0, ThinkTime))
+		backoff := InitialBackoff
+		for u.Until <= 0 || p.Now() < u.Until {
+			start := p.Now()
+			demand, err := u.Query(p.Now())
+			if err != nil {
+				u.Failures++
+				if u.Recorder != nil {
+					u.Recorder.RecordError(p.Now())
+				}
+				p.Sleep(u.think(rng))
+				continue
+			}
+			callErr := u.Server.Call(p, u.Machine, demand)
+			for callErr == node.ErrRefused {
+				if u.Recorder != nil {
+					u.Recorder.RecordRefusal(p.Now())
+				}
+				p.Sleep(rng.Jitter(backoff, 0.25))
+				if backoff *= 2; backoff > MaxBackoff {
+					backoff = MaxBackoff
+				}
+				callErr = u.Server.Call(p, u.Machine, demand)
+			}
+			// Multiplicative decrease on success: a client that was
+			// recently refused stays cautious, so sustained overload
+			// drives the population's offered rate below the server's
+			// capacity — the post-threshold load collapse of the paper's
+			// Figures 7-8.
+			if backoff /= 2; backoff < InitialBackoff {
+				backoff = InitialBackoff
+			}
+			u.Completed++
+			if u.Recorder != nil {
+				u.Recorder.RecordQuery(start, p.Now())
+			}
+			p.Sleep(u.think(rng))
+		}
+	})
+}
+
+// think draws the user's next wait time.
+func (u *User) think(rng *sim.RNG) float64 {
+	if u.Think == nil {
+		return ThinkTime
+	}
+	d := u.Think.NextThink(rng)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func userName(id int) string {
+	return "user-" + itoa(id)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Population launches n users spread across the client machines under the
+// paper's placement rule and pointed at the same server and query.
+type Population struct {
+	Users []*User
+}
+
+// NewPopulation builds (but does not start) n users on the given client
+// machines.
+func NewPopulation(n int, clients []*cluster.Machine, server *node.Server, q Query, rec *metrics.Recorder) *Population {
+	placement := cluster.SpreadUsers(clients, n, MaxUsersPerClientMachine)
+	pop := &Population{}
+	for i, m := range placement {
+		pop.Users = append(pop.Users, &User{
+			ID:       i,
+			Machine:  m,
+			Server:   server,
+			Query:    q,
+			Recorder: rec,
+			Seed:     uint64(i) * 7919,
+		})
+	}
+	return pop
+}
+
+// Start launches every user.
+func (p *Population) Start(env *sim.Env) {
+	for _, u := range p.Users {
+		u.Start(env)
+	}
+}
+
+// Completed sums completed queries across users.
+func (p *Population) Completed() int {
+	total := 0
+	for _, u := range p.Users {
+		total += u.Completed
+	}
+	return total
+}
