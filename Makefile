@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all ci fmt vet build test bench
+
+all: ci
+
+# ci is the gate GitHub Actions runs: formatting, static checks, the
+# tier-1 build/test pass, and a one-iteration benchmark smoke run.
+ci: fmt vet build test bench
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs every benchmark exactly once — a smoke pass proving the
+# harness works, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

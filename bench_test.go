@@ -144,18 +144,13 @@ func BenchmarkFig17_20_AggregateServers(b *testing.B) {
 // each system's Information Server adapter — the mapping that makes the
 // paper's comparison possible.
 func BenchmarkTable1_ComponentMapping(b *testing.B) {
-	giis, _, err := NewMDS("lucky3", "lucky4", "lucky7")
+	grid, err := New(WithHosts("lucky3", "lucky4", "lucky7"))
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, cserv, _, err := NewRGMA([]string{"lucky3", "lucky4", "lucky7"}, 3)
-	if err != nil {
-		b.Fatal(err)
-	}
-	mgr, _, err := NewHawkeyePool("lucky0", "lucky3", "lucky4", "lucky7")
-	if err != nil {
-		b.Fatal(err)
-	}
+	giis, _ := grid.MDS()
+	_, cserv, _ := grid.RGMA()
+	mgr, _ := grid.HawkeyePool()
 	constraint := classad.MustParseExpr("TARGET.CpuLoad >= 0")
 	b.Run("MDS_GIIS_query", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

@@ -1,20 +1,28 @@
 // Command gridmon-live runs all three monitoring services as one real TCP
-// server: MDS queries, R-GMA SQL, and Hawkeye constraint scans, each
-// dispatched by operation name over the framed-JSON transport. Pair it
-// with gridmon-query.
+// server built on the gridmon.Grid facade: MDS queries, R-GMA SQL, and
+// Hawkeye constraint scans, dispatched by operation name over the
+// framed-JSON transport. Pair it with gridmon-query, or connect
+// programmatically with gridmon.Dial.
 //
 // Usage:
 //
 //	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7]
 //
-// Operations served (see internal/liveops):
+// Operations served (ops.list reports the full namespace):
 //
+//	grid.query     typed v2 query (body: gridmon.Query) — what gridmon.Dial speaks
+//	grid.hosts     typed v2: list monitored hosts
+//	grid.systems   typed v2: list deployed systems
+//	ops.list       typed v2: list every registered op
 //	mds.query      params: filter (RFC 1960), attrs (comma-separated)
 //	mds.hosts      list registered hosts
 //	rgma.query     params: sql (SELECT over table "siteinfo")
 //	rgma.tables    list advertised tables
 //	hawkeye.query  params: constraint (ClassAd expression)
 //	hawkeye.pool   list pool members
+//
+// The param-based ops answer both v1 frames (the legacy string-payload
+// protocol) and typed v2 frames, so old clients keep working.
 package main
 
 import (
@@ -26,7 +34,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/liveops"
+	gridmon "repro"
 	"repro/internal/transport"
 )
 
@@ -37,9 +45,11 @@ func main() {
 	flag.Parse()
 	hosts := strings.Split(*hostList, ",")
 
-	start := time.Now()
-	now := func() float64 { return time.Since(start).Seconds() }
-	dep, agents, err := liveops.BuildDefault(hosts, *producers, now)
+	grid, err := gridmon.New(
+		gridmon.WithHosts(hosts...),
+		gridmon.WithRGMAProducers(*producers),
+		gridmon.WithWallClock(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,17 +58,14 @@ func main() {
 	go func() {
 		for {
 			time.Sleep(5 * time.Second)
-			for _, a := range agents {
-				ad, _ := a.StartdAd(now())
-				if _, err := dep.Manager.Update(now(), ad); err != nil {
-					log.Printf("advertise: %v", err)
-				}
+			if err := grid.Advertise(grid.Now()); err != nil {
+				log.Printf("advertise: %v", err)
 			}
 		}
 	}()
 
 	srv := transport.NewServer()
-	liveops.Register(srv, dep)
+	grid.Serve(srv)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)

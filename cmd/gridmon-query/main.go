@@ -1,33 +1,53 @@
 // Command gridmon-query is the client for gridmon-live: it issues one
-// operation against a running server and prints the payload.
+// operation against a running server and prints the payload. It speaks
+// the typed v2 protocol, so server failures come back with structured
+// error codes, which map to the exit status (see below).
 //
 // Usage:
 //
-//	gridmon-query [-addr 127.0.0.1:7946] <op> [key=value ...]
+//	gridmon-query [-addr 127.0.0.1:7946] [-timeout 10s] <op> [key=value ...]
 //
 // Examples:
 //
+//	gridmon-query ops.list
+//	gridmon-query grid.hosts
+//	gridmon-query grid.query system=MDS role='Aggregate Information Server' 'expr=(objectclass=MdsCpu)'
+//	gridmon-query grid.query system=Hawkeye role='Aggregate Information Server' 'expr=TARGET.CpuLoad > 50'
 //	gridmon-query mds.hosts
 //	gridmon-query mds.query 'filter=(objectclass=MdsCpu)' attrs=Mds-Cpu-Free-1minX100
 //	gridmon-query rgma.query "sql=SELECT host, value FROM siteinfo WHERE value >= 50"
 //	gridmon-query hawkeye.query 'constraint=TARGET.CpuLoad > 50'
+//
+// The grid.query op takes params system, role, host, expr and attrs
+// (comma-separated) and renders the typed ResultSet; role defaults to
+// the information server.
+//
+// Exit status: 0 on success; on a server error, a status derived from
+// the structured code — 2 for bad_request/parse_error/unknown_op (an
+// unknown op also prints the server's registered ops), 3 for
+// unavailable, 4 for deadline_exceeded, 1 otherwise.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	gridmon "repro"
+	"repro/internal/liveops"
 	"repro/internal/transport"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7946", "gridmon-live address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: gridmon-query [-addr host:port] <op> [key=value ...]")
+		fmt.Fprintln(os.Stderr, "usage: gridmon-query [-addr host:port] [-timeout 10s] <op> [key=value ...]")
 		os.Exit(2)
 	}
 	op := args[0]
@@ -46,13 +66,102 @@ func main() {
 		os.Exit(1)
 	}
 	defer client.Close()
-	payload, err := client.Call(op, params)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	payload, err := call(ctx, client, op, params)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		e := transport.AsError(err)
+		fmt.Fprintf(os.Stderr, "error [%s]: %s\n", e.Code, e.Message)
+		if e.Code == transport.CodeUnknownOp {
+			printOps(ctx, client)
+		}
+		os.Exit(exitStatus(e.Code))
 	}
 	fmt.Print(payload)
 	if !strings.HasSuffix(payload, "\n") {
 		fmt.Println()
+	}
+}
+
+// call invokes one op over the typed v2 protocol. The typed ops
+// (ops.list, grid.*) get their own request/response shapes; everything
+// else is a param-based op.
+func call(ctx context.Context, client *transport.Client, op string, params map[string]string) (string, error) {
+	switch op {
+	case "ops.list":
+		var ol transport.OpsList
+		if err := client.CallV2(ctx, op, nil, &ol); err != nil {
+			return "", err
+		}
+		return strings.Join(ol.Ops, "\n"), nil
+	case "grid.hosts":
+		var hl gridmon.HostList
+		if err := client.CallV2(ctx, op, nil, &hl); err != nil {
+			return "", err
+		}
+		return strings.Join(hl.Hosts, "\n"), nil
+	case "grid.systems":
+		var sl gridmon.SystemList
+		if err := client.CallV2(ctx, op, nil, &sl); err != nil {
+			return "", err
+		}
+		parts := make([]string, len(sl.Systems))
+		for i, s := range sl.Systems {
+			parts[i] = string(s)
+		}
+		return strings.Join(parts, "\n"), nil
+	case "grid.query":
+		q := gridmon.Query{
+			System: gridmon.System(params["system"]),
+			Role:   gridmon.Role(params["role"]),
+			Host:   params["host"],
+			Expr:   params["expr"],
+		}
+		if a := params["attrs"]; a != "" {
+			q.Attrs = strings.Split(a, ",")
+		}
+		var rs gridmon.ResultSet
+		if err := client.CallV2(ctx, op, q, &rs); err != nil {
+			return "", err
+		}
+		return rs.String(), nil
+	}
+	var resp liveops.OpResponse
+	if err := client.CallV2(ctx, op, liveops.OpRequest{Params: params}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Payload, nil
+}
+
+// printOps asks the server for its registered op names, so an unknown-op
+// failure doubles as usage help.
+func printOps(ctx context.Context, client *transport.Client) {
+	var ol transport.OpsList
+	if err := client.CallV2(ctx, "ops.list", nil, &ol); err != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ops served by this server:\n")
+	for _, op := range ol.Ops {
+		fmt.Fprintf(os.Stderr, "  %s\n", op)
+	}
+}
+
+// exitStatus maps a structured error code to the process exit status.
+func exitStatus(code transport.Code) int {
+	switch code {
+	case transport.CodeBadRequest, transport.CodeParse, transport.CodeUnknownOp:
+		return 2
+	case transport.CodeUnavailable:
+		return 3
+	case transport.CodeDeadline:
+		return 4
+	default:
+		return 1
 	}
 }

@@ -3,12 +3,15 @@
 // stream by polling the mediated SQL view of distributed producers and
 // raises a notification whenever a host's load crosses a threshold — the
 // "Producer/Consumer pairing to allow notification when the load reaches
-// some maximum" from the paper.
+// some maximum" from the paper. The grid's clock is a local variable
+// stepped by the polling loop (see gridmon.WithClock).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strconv"
 
 	gridmon "repro"
 )
@@ -16,15 +19,33 @@ import (
 const loadThreshold = 85.0
 
 func main() {
-	hosts := []string{"lucky3", "lucky4", "lucky5", "lucky6", "lucky7"}
-	registry, cserv, _, err := gridmon.NewRGMA(hosts, 4)
+	ctx := context.Background()
+	var now float64 // the grid's clock, stepped per polling round
+	grid, err := gridmon.New(
+		gridmon.WithHosts("lucky3", "lucky4", "lucky5", "lucky6", "lucky7"),
+		gridmon.WithSystems(gridmon.RGMA),
+		gridmon.WithRGMAProducers(4),
+		gridmon.WithClock(func() float64 { return now }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// The Registry is the directory server: enumerate its advertised
+	// tables, then resolve each table's producers through the unified
+	// query shape (a directory query's Expr is the table name).
+	registry, _, _ := grid.RGMA()
 	fmt.Println("Tables advertised in the Registry:")
-	for _, tbl := range registry.Tables(0) {
-		fmt.Printf("  %s (%d producers)\n", tbl, countProducers(registry, tbl))
+	for _, table := range registry.Tables(0) {
+		dir, err := grid.Query(ctx, gridmon.Query{
+			System: gridmon.RGMA,
+			Role:   gridmon.RoleDirectoryServer,
+			Expr:   table,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s (%d producers)\n", table, dir.Len())
 	}
 
 	// Poll the stream at five-second intervals (the paper's Ganglia
@@ -34,14 +55,17 @@ func main() {
 	alerted := make(map[string]bool)
 	notifications := 0
 	for tick := 1; tick <= 10; tick++ {
-		now := float64(tick * 5)
-		res, _, err := cserv.Query(now,
-			"SELECT host, value FROM siteinfo WHERE metric = 'metric-00'")
+		now = float64(tick * 5)
+		rs, err := grid.Query(ctx, gridmon.Query{
+			System: gridmon.RGMA,
+			Expr:   "SELECT host, value FROM siteinfo WHERE metric = 'metric-00'",
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, row := range res.Rows {
-			host, load := row[0].S, row[1].R
+		for _, r := range rs.Records {
+			host := r.Fields["host"]
+			load, _ := strconv.ParseFloat(r.Fields["value"], 64)
 			switch {
 			case load > loadThreshold && !alerted[host]:
 				alerted[host] = true
@@ -56,12 +80,4 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%d notification(s) delivered.\n", notifications)
-}
-
-func countProducers(reg *gridmon.Registry, table string) int {
-	ads, err := reg.LookupProducers(table, 0)
-	if err != nil {
-		return 0
-	}
-	return len(ads)
 }

@@ -1,11 +1,13 @@
-// Command quickstart demonstrates all three monitoring systems in one
-// process: it builds an MDS hierarchy, an R-GMA deployment, and a Hawkeye
-// pool over the same set of hosts, then answers the same question —
-// "what is the state of the pool?" — through each, printing the paper's
-// Table 1 component mapping along the way.
+// Command quickstart demonstrates the unified Grid facade: one
+// gridmon.New call deploys all three monitoring systems over the same
+// hosts, and one typed request shape — gridmon.Query — answers the same
+// question, "what is the state of the pool?", through each system in its
+// native dialect (an LDAP filter, SQL, a ClassAd constraint), printing
+// the paper's Table 1 component mapping along the way.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,68 +15,73 @@ import (
 )
 
 func main() {
-	hosts := []string{"lucky3", "lucky4", "lucky7"}
+	ctx := context.Background()
 
 	fmt.Println("=== Component mapping (the paper's Table 1) ===")
 	for _, role := range []gridmon.Role{
-		"Information Collector", "Information Server",
-		"Aggregate Information Server", "Directory Server",
+		gridmon.RoleInformationCollector, gridmon.RoleInformationServer,
+		gridmon.RoleAggregateServer, gridmon.RoleDirectoryServer,
 	} {
 		row := gridmon.ComponentMapping[role]
 		fmt.Printf("%-28s  MDS: %-20s R-GMA: %-16s Hawkeye: %s\n",
 			role, row[gridmon.MDS], orNone(row[gridmon.RGMA]), row[gridmon.Hawkeye])
 	}
 
-	// --- MDS: hierarchical LDAP queries ---
+	// One facade, three systems, one host set.
+	grid, err := gridmon.New(
+		gridmon.WithHosts("lucky3", "lucky4", "lucky7"),
+		gridmon.WithSystems(gridmon.MDS, gridmon.RGMA, gridmon.Hawkeye),
+		gridmon.WithRGMAProducers(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGrid over %v serving %v\n", grid.Hosts(), grid.Systems())
+
+	// --- MDS: the aggregate directory speaks RFC 1960 filters ---
 	fmt.Println("\n=== MDS: GIIS aggregating three GRIS ===")
-	giis, _, err := gridmon.NewMDS(hosts...)
+	rs, err := grid.Query(ctx, gridmon.Query{
+		System: gridmon.MDS,
+		Role:   gridmon.RoleAggregateServer,
+		Expr:   "(objectclass=MdsCpu)",
+		Attrs:  []string{"Mds-Cpu-Free-1minX100"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	filter, err := gridmon.ParseLDAPFilter("(objectclass=MdsCpu)")
-	if err != nil {
-		log.Fatal(err)
+	for _, r := range rs.Records {
+		fmt.Printf("  %-55s free-cpu=%s\n", r.Key, r.Fields["Mds-Cpu-Free-1minX100"])
 	}
-	entries, _, err := giis.Query(1, filter, []string{"Mds-Cpu-Free-1minX100"})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, e := range entries {
-		fmt.Printf("  %-55s free-cpu=%s\n", e.DN, e.First("Mds-Cpu-Free-1minX100"))
-	}
+	fmt.Printf("  (%d entries walked, %d bytes)\n", rs.Work.RecordsVisited, rs.Work.ResponseBytes)
 
-	// --- R-GMA: SQL over distributed producers ---
+	// --- R-GMA: the mediated consumer speaks SQL ---
 	fmt.Println("\n=== R-GMA: ConsumerServlet mediating a SQL query ===")
-	_, cserv, _, err := gridmon.NewRGMA(hosts, 2)
+	rs, err = grid.Query(ctx, gridmon.Query{
+		System: gridmon.RGMA,
+		Expr:   "SELECT host, metric, value FROM siteinfo WHERE value >= 50 ORDER BY value DESC LIMIT 5",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, stats, err := cserv.Query(1, "SELECT host, metric, value FROM siteinfo WHERE value >= 50 ORDER BY value DESC LIMIT 5")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  registry lookups: %d, producer servlets contacted: %d\n",
-		stats.RegistryLookups, stats.ProducersContacted)
-	for _, row := range res.Rows {
-		fmt.Printf("  %-22s %-12s %6.1f\n", row[0].S, row[1].S, row[2].R)
+	fmt.Printf("  registry lookups + producer servlets contacted: %d\n", rs.Work.Subqueries)
+	for _, r := range rs.Records {
+		fmt.Printf("  %-22s %-12s %s\n", r.Fields["host"], r.Fields["metric"], r.Fields["value"])
 	}
 
-	// --- Hawkeye: ClassAd matchmaking ---
+	// --- Hawkeye: the Manager speaks ClassAd constraints ---
 	fmt.Println("\n=== Hawkeye: Manager constraint scan ===")
-	mgr, _, err := gridmon.NewHawkeyePool("lucky0", hosts...)
+	rs, err = grid.Query(ctx, gridmon.Query{
+		System: gridmon.Hawkeye,
+		Role:   gridmon.RoleAggregateServer,
+		Expr:   "TARGET.CpuLoad >= 0 && TARGET.OpSys == \"LINUX\"",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	constraint, err := gridmon.ParseClassAdExpr("TARGET.CpuLoad >= 0 && TARGET.OpSys == \"LINUX\"")
-	if err != nil {
-		log.Fatal(err)
-	}
-	ads, st := mgr.Query(1, constraint)
-	fmt.Printf("  scanned %d Startd ClassAds, %d matched\n", st.AdsScanned, st.AdsReturned)
-	for _, ad := range ads {
-		name, _ := ad.Eval("Name").StringVal()
-		load, _ := ad.Eval("CpuLoad").RealVal()
-		fmt.Printf("  %-10s CpuLoad=%.1f\n", name, load)
+	fmt.Printf("  scanned %d Startd ClassAds, %d matched\n",
+		rs.Work.RecordsVisited, rs.Work.RecordsReturned)
+	for _, r := range rs.Records {
+		fmt.Printf("  %-10s CpuLoad=%s\n", r.Key, r.Fields["CpuLoad"])
 	}
 }
 

@@ -1,42 +1,47 @@
 // Command resourceselection solves the problem MDS was designed for (the
 // paper, Section 2.1): "how does a user identify the host or set of hosts
-// on which to run an application?" It stands up a GIIS over a pool of
-// GRIS servers, then selects execution hosts by querying the aggregated
-// directory with LDAP filters — first coarse discovery, then a refined
-// query against the chosen host's GRIS, showing the hierarchy the paper
+// on which to run an application?" It deploys an MDS-only grid, then
+// selects execution hosts through the unified query API — first coarse
+// discovery at the aggregate directory, then a refined query against the
+// chosen host's own information server, showing the hierarchy the paper
 // describes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 	"strconv"
+	"strings"
 
 	gridmon "repro"
 )
 
 func main() {
-	hosts := []string{"lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"}
-	giis, grises, err := gridmon.NewMDS(hosts...)
+	ctx := context.Background()
+	grid, err := gridmon.New(
+		gridmon.WithHosts("lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"),
+		gridmon.WithSystems(gridmon.MDS),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Step 1: discovery at the directory — which hosts exist?
 	fmt.Println("Step 1: hosts registered in the GIIS")
-	for _, h := range giis.Hosts(1) {
+	for _, h := range grid.Hosts() {
 		fmt.Printf("  %s\n", h)
 	}
 
-	// Step 2: coarse selection — Linux hosts with at least 50% free CPU,
+	// Step 2: coarse selection — hosts with at least 50% free CPU,
 	// straight from the aggregate directory (cached data, one query).
 	fmt.Println("\nStep 2: candidates with >= 50% free CPU (GIIS query)")
-	filter, err := gridmon.ParseLDAPFilter("(&(objectclass=MdsCpu)(Mds-Cpu-Free-1minX100>=50))")
-	if err != nil {
-		log.Fatal(err)
-	}
-	entries, stats, err := giis.Query(1, filter, nil)
+	rs, err := grid.Query(ctx, gridmon.Query{
+		System: gridmon.MDS,
+		Role:   gridmon.RoleAggregateServer,
+		Expr:   "(&(objectclass=MdsCpu)(Mds-Cpu-Free-1minX100>=50))",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,42 +50,56 @@ func main() {
 		free float64
 	}
 	var cands []candidate
-	for _, e := range entries {
-		free, _ := strconv.ParseFloat(e.First("Mds-Cpu-Free-1minX100"), 64)
-		// The host RDN is two levels up from the device entry.
-		host := e.DN[1].Value
-		cands = append(cands, candidate{host: host, free: free})
+	for _, r := range rs.Records {
+		free, _ := strconv.ParseFloat(r.Fields["Mds-Cpu-Free-1minX100"], 64)
+		cands = append(cands, candidate{host: hostOf(r.Key), free: free})
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].free > cands[j].free })
 	for _, c := range cands {
 		fmt.Printf("  %-8s free-cpu=%5.1f%%\n", c.host, c.free)
 	}
-	fmt.Printf("  (directory walked %d entries for this answer)\n", stats.EntriesVisited)
+	fmt.Printf("  (directory walked %d entries for this answer)\n", rs.Work.RecordsVisited)
 
 	if len(cands) == 0 {
 		log.Fatal("no candidate hosts")
 	}
 	best := cands[0].host
 
-	// Step 3: refinement at the resource — query the selected host's GRIS
-	// directly for its full picture (memory, filesystems, queue depth).
+	// Step 3: refinement at the resource — the selected host's GRIS
+	// answers the same query shape for its full picture (memory,
+	// filesystems, queue depth).
 	fmt.Printf("\nStep 3: full resource detail from %s's GRIS\n", best)
-	detail, _ := grises[best].Query(1, nil, nil)
-	for _, e := range detail {
-		if !e.Has("objectclass") {
-			continue
-		}
-		switch e.First("objectclass") {
+	detail, err := grid.Query(ctx, gridmon.Query{
+		System: gridmon.MDS,
+		Role:   gridmon.RoleInformationServer,
+		Host:   best,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range detail.Records {
+		switch r.Fields["objectclass"] {
 		case "MdsMemoryRam":
 			fmt.Printf("  memory:     %s MB free of %s MB\n",
-				e.First("Mds-Memory-Ram-freeMB"), e.First("Mds-Memory-Ram-Total-sizeMB"))
+				r.Fields["Mds-Memory-Ram-freeMB"], r.Fields["Mds-Memory-Ram-Total-sizeMB"])
 		case "MdsFilesystem":
 			fmt.Printf("  filesystem: %s free %s MB\n",
-				e.First("Mds-Fs-mount"), e.First("Mds-Fs-freeMB"))
+				r.Fields["Mds-Fs-mount"], r.Fields["Mds-Fs-freeMB"])
 		case "MdsGramJobQueue":
 			fmt.Printf("  job queue:  %s of %s slots in use\n",
-				e.First("Mds-Gram-Job-Queue-jobcount"), e.First("Mds-Gram-Job-Queue-maxcount"))
+				r.Fields["Mds-Gram-Job-Queue-jobcount"], r.Fields["Mds-Gram-Job-Queue-maxcount"])
 		}
 	}
 	fmt.Printf("\nSelected execution host: %s\n", best)
+}
+
+// hostOf extracts the host RDN from a record key (an LDAP DN like
+// "Mds-Device-name=cpu, Mds-Host-hn=lucky3, Mds-Vo-name=local, o=grid").
+func hostOf(dn string) string {
+	for _, rdn := range strings.Split(dn, ", ") {
+		if v, ok := strings.CutPrefix(rdn, "Mds-Host-hn="); ok {
+			return v
+		}
+	}
+	return dn
 }

@@ -2,6 +2,8 @@
 // it deploys a cached and an uncached GRIS on the simulated Lucky cluster,
 // drives both with the same user population, and prints the side-by-side
 // measurements — the paper's central caching result at example scale.
+// Unlike the other examples it deliberately works below the gridmon.Grid
+// facade, showing the simulation substrate the experiments run on.
 package main
 
 import (

@@ -1,11 +1,14 @@
 // Command triggers reproduces the Hawkeye scenario the paper opens with
 // (Section 2.3): a Trigger ClassAd specifying "if any machine advertises
 // a CPU load greater than 50, kill that machine's Netscape process". It
-// builds a pool, submits the trigger to the Manager, streams Startd
-// ClassAds, and shows matchmaking firing the job on overloaded machines.
+// deploys a Hawkeye-only grid, submits the trigger to the Manager (a
+// system-specific feature reached through the facade's HawkeyePool
+// escape hatch), streams Startd ClassAds with Grid.Advertise, and shows
+// the final pool status through the unified query API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +17,18 @@ import (
 )
 
 func main() {
-	mgr, agents, err := gridmon.NewHawkeyePool("lucky3",
-		"lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7")
+	ctx := context.Background()
+	var now float64 // the grid's clock, stepped per advertise round
+	grid, err := gridmon.New(
+		gridmon.WithHosts("lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"),
+		gridmon.WithSystems(gridmon.Hawkeye),
+		gridmon.WithManagerHost("lucky3"),
+		gridmon.WithClock(func() float64 { return now }),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	mgr, agents := grid.HawkeyePool()
 	fmt.Printf("Pool %q with %d monitoring agents.\n", "lucky3", len(agents))
 
 	// The paper's trigger: CPU load over 50 -> kill Netscape there.
@@ -44,24 +54,28 @@ func main() {
 	// incoming Startd ClassAd.
 	fmt.Println("Advertise stream (5 rounds at 30s intervals):")
 	for round := 1; round <= 5; round++ {
-		now := float64(round * 30)
-		for _, agent := range agents {
-			ad, _ := agent.StartdAd(now)
-			if _, err := mgr.Update(now, ad); err != nil {
-				log.Fatal(err)
-			}
+		now = float64(round * 30)
+		if err := grid.Advertise(now); err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("  t=%3.0fs pool=%d machines\n", now, mgr.NumMachines(now))
 	}
 
-	// A status query through the indexed resident database.
+	// A status query through the unified API: the Manager is Hawkeye's
+	// aggregate information server, and Expr is a ClassAd constraint.
 	fmt.Println("\nPool status (Manager scan, CpuLoad > 50):")
-	hot, st := mgr.Query(200, classad.MustParseExpr("TARGET.CpuLoad > 50"))
-	fmt.Printf("  scanned %d ads, %d overloaded:\n", st.AdsScanned, len(hot))
-	for _, ad := range hot {
-		name, _ := ad.Eval("Name").StringVal()
-		load, _ := ad.Eval("CpuLoad").RealVal()
-		fmt.Printf("  %-8s CpuLoad=%.1f\n", name, load)
+	now = 200
+	rs, err := grid.Query(ctx, gridmon.Query{
+		System: gridmon.Hawkeye,
+		Role:   gridmon.RoleAggregateServer,
+		Expr:   "TARGET.CpuLoad > 50",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  scanned %d ads, %d overloaded:\n", rs.Work.RecordsVisited, rs.Len())
+	for _, r := range rs.Records {
+		fmt.Printf("  %-8s CpuLoad=%s\n", r.Key, r.Fields["CpuLoad"])
 	}
 	fmt.Printf("\nNetscape killed %d time(s). The administrator sleeps well.\n", killed)
 }

@@ -1,0 +1,287 @@
+package gridmon
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hawkeye"
+	"repro/internal/liveops"
+	"repro/internal/mds"
+	"repro/internal/rgma"
+	"repro/internal/transport"
+)
+
+// Grid is the unified facade over the three monitoring systems: one
+// value owning a complete MDS hierarchy, R-GMA mesh and Hawkeye pool
+// over a common host set, queried through one typed request shape
+// (Query) and one role-keyed accessor surface (InformationServer,
+// DirectoryServer, AggregateServer). Construct it with New; the remote
+// client returned by Dial implements the same Querier interface, so
+// in-process and over-TCP use are interchangeable.
+type Grid struct {
+	cfg   *config
+	clock func() float64
+
+	// MDS: one GIIS aggregating a warm GRIS per host.
+	giis   *mds.GIIS
+	grises map[string]*mds.GRIS
+
+	// R-GMA: a Registry, one ProducerServlet per host, a mediating
+	// ConsumerServlet, and a composite Consumer/Producer filling the
+	// aggregate-server role the paper notes is missing.
+	registry       *rgma.Registry
+	consumer       *rgma.ConsumerServlet
+	servlets       map[string]*rgma.ProducerServlet // by host
+	servletsByAddr map[string]*rgma.ProducerServlet
+	composite      *rgma.CompositeProducer
+
+	// Hawkeye: a Manager and one Agent per host.
+	manager *hawkeye.Manager
+	agents  map[string]*hawkeye.Agent
+}
+
+// New constructs a Grid from functional options:
+//
+//	g, err := gridmon.New(
+//		gridmon.WithHosts("lucky3", "lucky4", "lucky7"),
+//		gridmon.WithSystems(gridmon.MDS, gridmon.RGMA, gridmon.Hawkeye),
+//		gridmon.WithRGMAProducers(3),
+//	)
+//
+// Construction primes every enabled system at t=0: GRIS caches are
+// warm, producers are registered, and each agent's initial Startd ad is
+// in the Manager — a steady-state deployment.
+func New(opts ...Option) (*Grid, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.hosts) == 0 {
+		return nil, fmt.Errorf("gridmon: no hosts (use WithHosts)")
+	}
+	g := &Grid{cfg: cfg, clock: cfg.clock}
+	if g.clock == nil {
+		g.clock = func() float64 { return 0 }
+	}
+	if cfg.systems[MDS] {
+		if err := g.buildMDS(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.systems[RGMA] {
+		if err := g.buildRGMA(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.systems[Hawkeye] {
+		if err := g.buildHawkeye(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func (g *Grid) buildMDS() error {
+	g.giis = mds.NewGIIS("giis", 1e12, 1e12)
+	g.grises = make(map[string]*mds.GRIS, len(g.cfg.hosts))
+	for i, h := range g.cfg.hosts {
+		gris := mds.NewGRIS(h, 1e12, mds.DefaultProviders())
+		gris.Warm(0)
+		if _, err := g.giis.Register(fmt.Sprintf("gris-%d", i), gris, 0); err != nil {
+			return err
+		}
+		g.grises[h] = gris
+	}
+	return nil
+}
+
+func (g *Grid) buildRGMA() error {
+	g.registry = rgma.NewRegistry("registry")
+	g.servlets = make(map[string]*rgma.ProducerServlet, len(g.cfg.hosts))
+	g.servletsByAddr = make(map[string]*rgma.ProducerServlet, len(g.cfg.hosts))
+	for _, h := range g.cfg.hosts {
+		addr := h + ":8080"
+		ps := rgma.NewProducerServlet(addr)
+		for i := 0; i < g.cfg.rgmaProducers; i++ {
+			ps.Host(rgma.NewMonitoringProducer(fmt.Sprintf("%s-p%d", h, i), "siteinfo",
+				fmt.Sprintf("%s-sensor%02d", h, i), 5))
+		}
+		g.servlets[h] = ps
+		g.servletsByAddr[addr] = ps
+		for _, ad := range ps.Advertisements() {
+			if err := g.registry.RegisterProducer(ad, 0, 1e12); err != nil {
+				return err
+			}
+		}
+	}
+	resolve := func(addr string) (*rgma.ProducerServlet, error) {
+		ps, ok := g.servletsByAddr[addr]
+		if !ok {
+			return nil, fmt.Errorf("gridmon: unknown producer servlet %q", addr)
+		}
+		return ps, nil
+	}
+	g.consumer = rgma.NewConsumerServlet("consumer:8080", g.registry, resolve)
+	// The composite Consumer/Producer is deliberately NOT registered in
+	// the Registry: it aggregates the other producers' streams, and
+	// registering it would make mediated consumer queries see every row
+	// twice.
+	g.composite = rgma.NewCompositeProducer("composite", "composite:8080", "siteinfo",
+		g.registry, resolve)
+	return nil
+}
+
+func (g *Grid) buildHawkeye() error {
+	g.manager = hawkeye.NewManager(g.cfg.managerHost, 0)
+	g.agents = make(map[string]*hawkeye.Agent, len(g.cfg.hosts))
+	for _, h := range g.cfg.hosts {
+		a := hawkeye.NewAgent(h, g.cfg.advertiseInterval)
+		if err := a.AddModules(hawkeye.DefaultModules()); err != nil {
+			return err
+		}
+		ad, _ := a.StartdAd(0)
+		if _, err := g.manager.Update(0, ad); err != nil {
+			return err
+		}
+		g.agents[h] = a
+	}
+	return nil
+}
+
+// Hosts lists the monitored hosts in deployment order.
+func (g *Grid) Hosts() []string { return append([]string(nil), g.cfg.hosts...) }
+
+// Systems lists the deployed systems in canonical order.
+func (g *Grid) Systems() []System { return g.cfg.enabledSystems() }
+
+// Enabled reports whether sys is deployed in this grid.
+func (g *Grid) Enabled(sys System) bool { return g.cfg.systems[sys] }
+
+// Now reads the grid's clock (see WithClock).
+func (g *Grid) Now() float64 { return g.clock() }
+
+// MDS exposes the MDS deployment: the GIIS and the per-host GRIS map
+// (nil, nil when MDS is not deployed). The map is a copy; the components
+// are live.
+func (g *Grid) MDS() (*GIIS, map[string]*GRIS) {
+	if g.giis == nil {
+		return nil, nil
+	}
+	return g.giis, copyMap(g.grises)
+}
+
+// RGMA exposes the R-GMA deployment: the Registry, the mediating
+// ConsumerServlet, and the per-host ProducerServlet map (all nil when
+// R-GMA is not deployed).
+func (g *Grid) RGMA() (*Registry, *ConsumerServlet, map[string]*ProducerServlet) {
+	if g.registry == nil {
+		return nil, nil, nil
+	}
+	return g.registry, g.consumer, copyMap(g.servlets)
+}
+
+// HawkeyePool exposes the Hawkeye deployment: the Manager and the
+// per-host Agent map (nil, nil when Hawkeye is not deployed).
+func (g *Grid) HawkeyePool() (*Manager, map[string]*Agent) {
+	if g.manager == nil {
+		return nil, nil
+	}
+	return g.manager, copyMap(g.agents)
+}
+
+func copyMap[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Advertise refreshes the Hawkeye pool at time now: every agent collects
+// a fresh Startd ad and sends it to the Manager, as the live server's
+// advertising loop does. It is a no-op when Hawkeye is not deployed.
+func (g *Grid) Advertise(now float64) error {
+	if g.manager == nil {
+		return nil
+	}
+	for _, h := range g.cfg.hosts {
+		ad, _ := g.agents[h].StartdAd(now)
+		if _, err := g.manager.Update(now, ad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InformationServer returns sys's Table 1 Information Server binding for
+// one host: the GRIS, ProducerServlet or Agent serving that host's data.
+func (g *Grid) InformationServer(sys System, host string) (core.InformationServer, error) {
+	rq, err := g.querier(Query{System: sys, Role: RoleInformationServer, Host: host})
+	if err != nil {
+		return nil, err
+	}
+	return rq.(core.InformationServer), nil
+}
+
+// DirectoryServer returns sys's Table 1 Directory Server binding: the
+// GIIS, Registry or Manager resolving what resources exist.
+func (g *Grid) DirectoryServer(sys System) (core.DirectoryServer, error) {
+	rq, err := g.querier(Query{System: sys, Role: RoleDirectoryServer})
+	if err != nil {
+		return nil, err
+	}
+	return rq.(core.DirectoryServer), nil
+}
+
+// AggregateServer returns sys's Table 1 Aggregate Information Server
+// binding: the GIIS, the composite Consumer/Producer, or the Manager.
+func (g *Grid) AggregateServer(sys System) (core.AggregateInformationServer, error) {
+	rq, err := g.querier(Query{System: sys, Role: RoleAggregateServer})
+	if err != nil {
+		return nil, err
+	}
+	return rq.(core.AggregateInformationServer), nil
+}
+
+// Serve registers the grid's full operation namespace on a transport
+// server: the typed v2 ops
+//
+//	grid.query    body: Query            -> ResultSet
+//	grid.hosts    ->  {"hosts": [...]}
+//	grid.systems  ->  {"systems": [...]}
+//
+// plus the six legacy param-based ops (mds.query, mds.hosts, rgma.query,
+// rgma.tables, hawkeye.query, hawkeye.pool) in both protocol
+// generations, so old v1 clients keep working unchanged. The server's
+// built-in ops.list op reports the whole namespace.
+func (g *Grid) Serve(srv *transport.Server) {
+	transport.Handle(srv, "grid.query", func(ctx context.Context, q Query) (*ResultSet, error) {
+		return g.Query(ctx, q)
+	})
+	transport.Handle(srv, "grid.hosts", func(context.Context, struct{}) (HostList, error) {
+		return HostList{Hosts: g.Hosts()}, nil
+	})
+	transport.Handle(srv, "grid.systems", func(context.Context, struct{}) (SystemList, error) {
+		return SystemList{Systems: g.Systems()}, nil
+	})
+	liveops.Register(srv, liveops.Deployment{
+		GIIS:     g.giis,
+		Registry: g.registry,
+		Consumer: g.consumer,
+		Manager:  g.manager,
+		Now:      g.clock,
+	})
+}
+
+// HostList is the v2 response body of grid.hosts.
+type HostList struct {
+	Hosts []string `json:"hosts"`
+}
+
+// SystemList is the v2 response body of grid.systems.
+type SystemList struct {
+	Systems []System `json:"systems"`
+}

@@ -1,0 +1,360 @@
+package gridmon
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// testHosts is the host set every equivalence test deploys.
+var testHosts = []string{"lucky3", "lucky4", "lucky7"}
+
+// fixedClock pins a grid's time so two independently built grids answer
+// queries identically.
+func fixedClock(t float64) Option { return WithClock(func() float64 { return t }) }
+
+// newTestGrid builds one fully-populated deterministic grid.
+func newTestGrid(t *testing.T, opts ...Option) *Grid {
+	t.Helper()
+	grid, err := New(append([]Option{WithHosts(testHosts...), fixedClock(1)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid
+}
+
+// serveGrid exposes a grid on a loopback transport server and returns a
+// connected remote client.
+func serveGrid(t *testing.T, grid *Grid) *RemoteGrid {
+	t.Helper()
+	srv := transport.NewServer()
+	grid.Serve(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	remote, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	return remote
+}
+
+// TestQueryEquivalence is the v2 API's core contract: the same Query
+// executed in-process and over TCP returns identical records and Work
+// for every system and role. Two identically-constructed grids (one
+// local, one behind a loopback server) see the same ordered query
+// sequence, so their cache state evolves in lockstep.
+func TestQueryEquivalence(t *testing.T) {
+	local := newTestGrid(t)
+	remote := serveGrid(t, newTestGrid(t))
+	ctx := context.Background()
+
+	queries := []Query{
+		// MDS: information server, aggregate, directory — RFC 1960 dialect.
+		{System: MDS, Role: RoleInformationServer, Host: "lucky3", Expr: "(objectclass=MdsCpu)"},
+		{System: MDS, Role: RoleAggregateServer, Expr: "(objectclass=MdsCpu)", Attrs: []string{"Mds-Cpu-Free-1minX100"}},
+		{System: MDS, Role: RoleDirectoryServer},
+		// R-GMA: direct servlet, mediated consumer, registry, composite — SQL dialect.
+		{System: RGMA, Role: RoleInformationServer, Host: "lucky4", Expr: "SELECT host, value FROM siteinfo"},
+		{System: RGMA, Role: RoleInformationServer, Expr: "SELECT host, metric, value FROM siteinfo WHERE value >= 50"},
+		{System: RGMA, Role: RoleDirectoryServer, Expr: "siteinfo"},
+		{System: RGMA, Role: RoleAggregateServer, Expr: "SELECT host, value FROM siteinfo"},
+		// Hawkeye: agent, manager scan, directory — ClassAd dialect.
+		{System: Hawkeye, Role: RoleInformationServer, Host: "lucky7"},
+		{System: Hawkeye, Role: RoleAggregateServer, Expr: "TARGET.CpuLoad >= 0"},
+		{System: Hawkeye, Role: RoleDirectoryServer},
+	}
+	for _, q := range queries {
+		inProc, err := local.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s/%s in-process: %v", q.System, q.Role, err)
+		}
+		overTCP, err := remote.Query(ctx, q)
+		if err != nil {
+			t.Fatalf("%s/%s over TCP: %v", q.System, q.Role, err)
+		}
+		if inProc.Len() == 0 {
+			t.Errorf("%s/%s returned no records", q.System, q.Role)
+		}
+		if !reflect.DeepEqual(inProc.Records, overTCP.Records) {
+			t.Errorf("%s/%s: records differ\nin-process: %+v\nover TCP:   %+v",
+				q.System, q.Role, inProc.Records, overTCP.Records)
+		}
+		if inProc.Work != overTCP.Work {
+			t.Errorf("%s/%s: work differs\nin-process: %+v\nover TCP:   %+v",
+				q.System, q.Role, inProc.Work, overTCP.Work)
+		}
+	}
+}
+
+// TestQueryErrorEquivalence: failures carry the same structured code
+// in-process and over TCP.
+func TestQueryErrorEquivalence(t *testing.T) {
+	local := newTestGrid(t, WithSystems(MDS))
+	remote := serveGrid(t, newTestGrid(t, WithSystems(MDS)))
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		q    Query
+		code ErrorCode
+	}{
+		{"bad filter", Query{System: MDS, Role: RoleAggregateServer, Expr: "(((broken"}, ErrParse},
+		{"unknown host", Query{System: MDS, Role: RoleInformationServer, Host: "nope"}, ErrBadRequest},
+		{"missing host", Query{System: MDS, Role: RoleInformationServer}, ErrBadRequest},
+		{"disabled system", Query{System: Hawkeye, Role: RoleAggregateServer}, ErrUnavailable},
+		{"unknown system", Query{System: "AFS"}, ErrBadRequest},
+		{"unknown role", Query{System: MDS, Role: "Oracle"}, ErrBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := local.Query(ctx, tc.q)
+		if err == nil || CodeOf(err) != tc.code {
+			t.Errorf("%s in-process: err = %v, want code %s", tc.name, err, tc.code)
+		}
+		_, err = remote.Query(ctx, tc.q)
+		if err == nil || CodeOf(err) != tc.code {
+			t.Errorf("%s over TCP: err = %v, want code %s", tc.name, err, tc.code)
+		}
+	}
+}
+
+// TestV1CompatShim: old-style v1 frames (Request{Op, Params} with no
+// version field) against a server wired by Grid.Serve still answer in
+// the v1 Response shape for all six documented ops.
+func TestV1CompatShim(t *testing.T) {
+	grid := newTestGrid(t)
+	srv := transport.NewServer()
+	grid.Serve(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// Speak the raw v1 protocol: write a v1 Request frame, decode the
+	// reply strictly into the v1 Response struct.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	cases := []struct {
+		op     string
+		params map[string]string
+		want   string // substring of the payload
+	}{
+		{"mds.query", map[string]string{"filter": "(objectclass=MdsCpu)"}, "Mds-Host-hn=lucky3"},
+		{"mds.hosts", nil, "lucky4"},
+		{"rgma.query", map[string]string{"sql": "SELECT host, value FROM siteinfo"}, "host,value"},
+		{"rgma.tables", nil, "siteinfo"},
+		{"hawkeye.query", map[string]string{"constraint": "TARGET.CpuLoad >= 0"}, "Name = "},
+		{"hawkeye.pool", nil, "lucky7"},
+	}
+	for _, tc := range cases {
+		if err := transport.WriteFrame(conn, transport.Request{Op: tc.op, Params: tc.params}); err != nil {
+			t.Fatal(err)
+		}
+		var resp transport.Response
+		if err := transport.ReadFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK || resp.Error != "" {
+			t.Errorf("v1 %s: ok=%v error=%q", tc.op, resp.OK, resp.Error)
+		}
+		if !strings.Contains(resp.Payload, tc.want) {
+			t.Errorf("v1 %s: payload %q missing %q", tc.op, resp.Payload, tc.want)
+		}
+	}
+
+	// A v1 error keeps the v1 shape too: ok=false plus a bare message.
+	if err := transport.WriteFrame(conn, transport.Request{Op: "rgma.query"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp transport.Response
+	if err := transport.ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || resp.Error == "" || resp.Payload != "" {
+		t.Errorf("v1 error shape: %+v", resp)
+	}
+}
+
+// TestRoleAccessors: the facade exposes every Table 1 binding with the
+// right component identity, built on the internal/core interfaces.
+func TestRoleAccessors(t *testing.T) {
+	grid := newTestGrid(t)
+	infoWant := map[System]string{MDS: "GRIS", RGMA: "ProducerServlet", Hawkeye: "Agent"}
+	dirWant := map[System]string{MDS: "GIIS", RGMA: "Registry", Hawkeye: "Manager"}
+	aggWant := map[System]string{MDS: "GIIS", RGMA: "Composite Consumer/Producer", Hawkeye: "Manager"}
+	for _, sys := range grid.Systems() {
+		info, err := grid.InformationServer(sys, "lucky3")
+		if err != nil {
+			t.Fatalf("%s information server: %v", sys, err)
+		}
+		if info.ComponentName() != infoWant[sys] || info.Role() != RoleInformationServer {
+			t.Errorf("%s information server = %s/%s", sys, info.ComponentName(), info.Role())
+		}
+		if _, err := info.QueryAll(1); err != nil {
+			t.Errorf("%s information QueryAll: %v", sys, err)
+		}
+		dir, err := grid.DirectoryServer(sys)
+		if err != nil {
+			t.Fatalf("%s directory server: %v", sys, err)
+		}
+		if dir.ComponentName() != dirWant[sys] || dir.Role() != RoleDirectoryServer {
+			t.Errorf("%s directory server = %s/%s", sys, dir.ComponentName(), dir.Role())
+		}
+		if _, err := dir.Lookup(1); err != nil {
+			t.Errorf("%s directory Lookup: %v", sys, err)
+		}
+		agg, err := grid.AggregateServer(sys)
+		if err != nil {
+			t.Fatalf("%s aggregate server: %v", sys, err)
+		}
+		if agg.ComponentName() != aggWant[sys] || agg.Role() != RoleAggregateServer {
+			t.Errorf("%s aggregate server = %s/%s", sys, agg.ComponentName(), agg.Role())
+		}
+		if _, err := agg.QueryAll(1); err != nil {
+			t.Errorf("%s aggregate QueryAll: %v", sys, err)
+		}
+	}
+	// The R-GMA aggregate binding fills the cell Table 1 leaves empty.
+	var _ core.AggregateInformationServer = mustAgg(t, grid, RGMA)
+}
+
+func mustAgg(t *testing.T, g *Grid, sys System) core.AggregateInformationServer {
+	t.Helper()
+	agg, err := g.AggregateServer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agg
+}
+
+// TestOptionValidation: construction rejects bad configurations.
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"no hosts", nil},
+		{"empty host", []Option{WithHosts("")}},
+		{"duplicate host", []Option{WithHosts("a", "a")}},
+		{"unknown system", []Option{WithHosts("a"), WithSystems("AFS")}},
+		{"no systems", []Option{WithHosts("a"), WithSystems()}},
+		{"zero producers", []Option{WithHosts("a"), WithRGMAProducers(0)}},
+		{"empty manager", []Option{WithHosts("a"), WithManagerHost("")}},
+		{"nil clock", []Option{WithHosts("a"), WithClock(nil)}},
+		{"bad interval", []Option{WithHosts("a"), WithAdvertiseInterval(0)}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestSubsetSystems: a grid deploys only what WithSystems selects, and
+// accessors for the rest report absence.
+func TestSubsetSystems(t *testing.T) {
+	grid := newTestGrid(t, WithSystems(RGMA))
+	if got := grid.Systems(); len(got) != 1 || got[0] != RGMA {
+		t.Fatalf("systems = %v", got)
+	}
+	if giis, grises := grid.MDS(); giis != nil || grises != nil {
+		t.Error("MDS components present in R-GMA-only grid")
+	}
+	if mgr, agents := grid.HawkeyePool(); mgr != nil || agents != nil {
+		t.Error("Hawkeye components present in R-GMA-only grid")
+	}
+	if _, err := grid.Query(context.Background(), Query{System: MDS}); CodeOf(err) != ErrUnavailable {
+		t.Errorf("MDS query on R-GMA-only grid: %v", err)
+	}
+}
+
+// TestRemoteIntrospection: the remote client's discovery surface.
+func TestRemoteIntrospection(t *testing.T) {
+	remote := serveGrid(t, newTestGrid(t))
+	ctx := context.Background()
+	hosts, err := remote.Hosts(ctx)
+	if err != nil || !reflect.DeepEqual(hosts, testHosts) {
+		t.Fatalf("hosts = %v, %v", hosts, err)
+	}
+	systems, err := remote.Systems(ctx)
+	if err != nil || len(systems) != 3 {
+		t.Fatalf("systems = %v, %v", systems, err)
+	}
+	ops, err := remote.Ops(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"grid.query", "grid.hosts", "grid.systems", "ops.list",
+		"mds.query", "mds.hosts", "rgma.query", "rgma.tables", "hawkeye.query", "hawkeye.pool"} {
+		found := false
+		for _, op := range ops {
+			if op == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ops missing %q (got %v)", want, ops)
+		}
+	}
+}
+
+// TestRemoteExpiredContext: an already-expired context fails fast with
+// the deadline code, without reaching the server.
+func TestRemoteExpiredContext(t *testing.T) {
+	remote := serveGrid(t, newTestGrid(t))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := remote.Query(ctx, Query{System: MDS, Role: RoleDirectoryServer})
+	if CodeOf(err) != ErrDeadline {
+		t.Fatalf("err = %v, want deadline code", err)
+	}
+}
+
+// TestAttrsProjection: the uniform Attrs projection narrows records on
+// every system.
+func TestAttrsProjection(t *testing.T) {
+	grid := newTestGrid(t)
+	ctx := context.Background()
+	rs, err := grid.Query(ctx, Query{
+		System: Hawkeye,
+		Role:   RoleAggregateServer,
+		Attrs:  []string{"Name", "CpuLoad"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs.Records {
+		if len(r.Fields) > 2 {
+			t.Fatalf("projection leaked fields: %v", r.Fields)
+		}
+		if r.Fields["CpuLoad"] == "" {
+			t.Fatalf("projection lost CpuLoad: %v", r.Fields)
+		}
+	}
+	rs, err = grid.Query(ctx, Query{
+		System: RGMA,
+		Expr:   "SELECT host, metric, value FROM siteinfo",
+		Attrs:  []string{"host"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 || len(rs.Records[0].Fields) != 1 {
+		t.Fatalf("RGMA projection = %v", rs.Records[0].Fields)
+	}
+}

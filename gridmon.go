@@ -7,10 +7,43 @@
 // discrete-event testbed that regenerates every figure of the paper's
 // evaluation.
 //
+// # The v2 API
+//
+// The public surface mirrors the paper's central idea: one functional
+// mapping (Table 1) over three very different systems. A Grid facade
+// owns a complete deployment of all three:
+//
+//	g, err := gridmon.New(
+//		gridmon.WithHosts("lucky3", "lucky4", "lucky7"),
+//		gridmon.WithSystems(gridmon.MDS, gridmon.RGMA, gridmon.Hawkeye),
+//		gridmon.WithRGMAProducers(3),
+//	)
+//
+// and answers one typed request shape whose Expr field is interpreted in
+// each system's native dialect — an RFC 1960 LDAP filter for MDS, SQL
+// for R-GMA, a ClassAd constraint for Hawkeye:
+//
+//	rs, err := g.Query(ctx, gridmon.Query{
+//		System: gridmon.MDS,
+//		Role:   gridmon.RoleAggregateServer,
+//		Expr:   "(objectclass=MdsCpu)",
+//	})
+//
+// The ResultSet carries uniformly decoded records, the component's Work
+// accounting, and elapsed time. Table 1 component bindings are available
+// directly through g.InformationServer, g.DirectoryServer and
+// g.AggregateServer, and each system's concrete components through
+// g.MDS, g.RGMA and g.HawkeyePool.
+//
+// The same interface works over the network: Grid.Serve registers the
+// typed grid.query op (plus the legacy v1 ops) on a transport server,
+// and Dial returns a remote client implementing the same Querier
+// interface, so in-process and live-TCP modes are interchangeable.
+//
 // The package has two modes:
 //
-//   - Live mode: construct services and query them in-process (or over
-//     TCP via internal/transport); see the examples/ directory.
+//   - Live mode: construct a Grid and query it in-process (or over TCP
+//     via cmd/gridmon-live and Dial); see the examples/ directory.
 //   - Simulated mode: run the paper's experiment sets on the modeled
 //     Lucky/UC testbed; see RunExperiment and cmd/gridmon-bench.
 package gridmon
@@ -64,6 +97,11 @@ const (
 	MDS     = core.SystemMDS
 	RGMA    = core.SystemRGMA
 	Hawkeye = core.SystemHawkeye
+
+	RoleInformationCollector = core.RoleInformationCollector
+	RoleInformationServer    = core.RoleInformationServer
+	RoleAggregateServer      = core.RoleAggregateServer
+	RoleDirectoryServer      = core.RoleDirectoryServer
 )
 
 // ComponentMapping is the paper's Table 1.
@@ -72,69 +110,62 @@ var ComponentMapping = core.ComponentMapping
 // NewMDS builds an MDS deployment: a GIIS aggregating one GRIS (with the
 // standard ten information providers) per host. Caches are warm, matching
 // a steady-state deployment.
+//
+// Deprecated: construct a Grid instead — New(WithHosts(hosts...),
+// WithSystems(MDS)) — and query it through Query or the role accessors;
+// the GIIS and GRIS map remain reachable via Grid.MDS.
 func NewMDS(hosts ...string) (*GIIS, map[string]*GRIS, error) {
-	giis := mds.NewGIIS("giis", 1e12, 1e12)
-	grises := make(map[string]*GRIS, len(hosts))
-	for i, h := range hosts {
-		g := mds.NewGRIS(h, 1e12, mds.DefaultProviders())
-		g.Warm(0)
-		if _, err := giis.Register(fmt.Sprintf("gris-%d", i), g, 0); err != nil {
-			return nil, nil, err
-		}
-		grises[h] = g
+	g, err := New(WithHosts(hosts...), WithSystems(MDS))
+	if err != nil {
+		return nil, nil, err
 	}
+	giis, grises := g.MDS()
 	return giis, grises, nil
 }
 
 // NewRGMA builds an R-GMA deployment: one ProducerServlet per host, each
 // hosting nProducers monitoring producers of the "siteinfo" table, all
 // registered with a Registry, plus a ConsumerServlet mediating queries.
+// The servlet map is keyed by servlet address ("host:8080").
+//
+// Deprecated: construct a Grid instead — New(WithHosts(hosts...),
+// WithSystems(RGMA), WithRGMAProducers(n)) — and query it through Query
+// or the role accessors; the components remain reachable via Grid.RGMA.
 func NewRGMA(hosts []string, nProducers int) (*Registry, *ConsumerServlet, map[string]*ProducerServlet, error) {
-	reg := rgma.NewRegistry("registry")
-	servlets := make(map[string]*ProducerServlet, len(hosts))
-	for _, h := range hosts {
-		addr := h + ":8080"
-		ps := rgma.NewProducerServlet(addr)
-		for i := 0; i < nProducers; i++ {
-			ps.Host(rgma.NewMonitoringProducer(fmt.Sprintf("%s-p%d", h, i), "siteinfo",
-				fmt.Sprintf("%s-sensor%02d", h, i), 5))
-		}
-		servlets[addr] = ps
-		for _, ad := range ps.Advertisements() {
-			if err := reg.RegisterProducer(ad, 0, 1e12); err != nil {
-				return nil, nil, nil, err
-			}
-		}
+	g, err := New(WithHosts(hosts...), WithSystems(RGMA), WithRGMAProducers(nProducers))
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	cserv := rgma.NewConsumerServlet("consumer:8080", reg, func(addr string) (*ProducerServlet, error) {
-		ps, ok := servlets[addr]
-		if !ok {
-			return nil, fmt.Errorf("gridmon: unknown producer servlet %q", addr)
-		}
-		return ps, nil
-	})
-	return reg, cserv, servlets, nil
+	return g.registry, g.consumer, copyMap(g.servletsByAddr), nil
 }
 
 // NewHawkeyePool builds a Hawkeye deployment: a Manager plus one Agent
 // (with the standard eleven modules) per host, each primed with an
 // initial Startd ClassAd.
+//
+// Deprecated: construct a Grid instead — New(WithHosts(agentHosts...),
+// WithSystems(Hawkeye), WithManagerHost(managerHost)) — and query it
+// through Query or the role accessors; the Manager and Agent map remain
+// reachable via Grid.HawkeyePool.
 func NewHawkeyePool(managerHost string, agentHosts ...string) (*Manager, map[string]*Agent, error) {
-	mgr := hawkeye.NewManager(managerHost, 0)
-	agents := make(map[string]*Agent, len(agentHosts))
-	for _, h := range agentHosts {
-		a := hawkeye.NewAgent(h, 30)
-		if err := a.AddModules(hawkeye.DefaultModules()); err != nil {
-			return nil, nil, err
-		}
-		ad, _ := a.StartdAd(0)
-		if _, err := mgr.Update(0, ad); err != nil {
-			return nil, nil, err
-		}
-		agents[h] = a
+	g, err := New(WithHosts(agentHosts...), WithSystems(Hawkeye), WithManagerHost(managerHost))
+	if err != nil {
+		return nil, nil, err
 	}
+	mgr, agents := g.HawkeyePool()
 	return mgr, agents, nil
 }
+
+// AttrRequirements is the ClassAd attribute matchmaking evaluates (used
+// when building Trigger ads).
+const AttrRequirements = classad.AttrRequirements
+
+// NewClassAd creates an empty ClassAd — external callers build Trigger
+// ads with it, since the classad package itself is internal.
+func NewClassAd() *ClassAd { return classad.NewAd() }
+
+// ParseClassAd parses a ClassAd in either record or old-style syntax.
+func ParseClassAd(src string) (*ClassAd, error) { return classad.ParseAd(src) }
 
 // ParseClassAdExpr parses a ClassAd expression (for constraints and
 // triggers).

@@ -2,66 +2,97 @@ package gridmon
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/classad"
 )
 
-func TestNewMDSQueryable(t *testing.T) {
-	giis, grises, err := NewMDS("lucky3", "lucky7")
+func TestGridMDSQueryable(t *testing.T) {
+	grid, err := New(WithHosts("lucky3", "lucky7"), WithSystems(MDS))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(grises) != 2 {
+	giis, grises := grid.MDS()
+	if giis == nil || len(grises) != 2 {
 		t.Fatalf("grises = %d", len(grises))
 	}
-	filter, err := ParseLDAPFilter("(objectclass=MdsCpu)")
+	rs, err := grid.Query(context.Background(), Query{
+		System: MDS,
+		Role:   RoleAggregateServer,
+		Expr:   "(objectclass=MdsCpu)",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	entries, _, err := giis.Query(1, filter, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 2 {
-		t.Fatalf("cpu entries = %d, want 2", len(entries))
+	if rs.Len() != 2 {
+		t.Fatalf("cpu records = %d, want 2", rs.Len())
 	}
 }
 
-func TestNewRGMAQueryable(t *testing.T) {
-	_, cserv, servlets, err := NewRGMA([]string{"a", "b"}, 3)
+func TestGridRGMAQueryable(t *testing.T) {
+	grid, err := New(WithHosts("a", "b"), WithSystems(RGMA), WithRGMAProducers(3))
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, _, servlets := grid.RGMA()
 	if len(servlets) != 2 {
 		t.Fatalf("servlets = %d", len(servlets))
 	}
-	res, _, err := cserv.Query(1, "SELECT host, value FROM siteinfo")
+	rs, err := grid.Query(context.Background(), Query{
+		System: RGMA,
+		Expr:   "SELECT host, value FROM siteinfo",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 2 hosts x 3 producers x 5 metrics.
-	if len(res.Rows) != 30 {
-		t.Fatalf("rows = %d, want 30", len(res.Rows))
+	if rs.Len() != 30 {
+		t.Fatalf("rows = %d, want 30", rs.Len())
 	}
 }
 
-func TestNewHawkeyePoolQueryable(t *testing.T) {
-	mgr, agents, err := NewHawkeyePool("m", "a1", "a2", "a3")
+func TestGridHawkeyeQueryable(t *testing.T) {
+	grid, err := New(WithHosts("a1", "a2", "a3"), WithSystems(Hawkeye), WithManagerHost("m"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, agents := grid.HawkeyePool()
 	if len(agents) != 3 {
 		t.Fatalf("agents = %d", len(agents))
 	}
-	constraint, err := ParseClassAdExpr("TARGET.CpuLoad >= 0")
+	rs, err := grid.Query(context.Background(), Query{
+		System: Hawkeye,
+		Role:   RoleAggregateServer,
+		Expr:   "TARGET.CpuLoad >= 0",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ads, st := mgr.Query(1, constraint)
-	if len(ads) != 3 || st.AdsScanned != 3 {
-		t.Fatalf("ads = %d scanned = %d", len(ads), st.AdsScanned)
+	if rs.Len() != 3 || rs.Work.RecordsVisited != 3 {
+		t.Fatalf("ads = %d scanned = %d", rs.Len(), rs.Work.RecordsVisited)
+	}
+}
+
+// TestDeprecatedConstructorShims: the v1 tuple constructors remain
+// supported as thin delegates to the facade.
+func TestDeprecatedConstructorShims(t *testing.T) {
+	giis, grises, err := NewMDS("lucky3", "lucky7")
+	if err != nil || giis == nil || len(grises) != 2 {
+		t.Fatalf("NewMDS = %v, %d grises", err, len(grises))
+	}
+	reg, cserv, servlets, err := NewRGMA([]string{"a", "b"}, 2)
+	if err != nil || reg == nil || cserv == nil {
+		t.Fatalf("NewRGMA: %v", err)
+	}
+	// The servlet map keeps its v1 contract: keyed by address.
+	if _, ok := servlets["a:8080"]; !ok || len(servlets) != 2 {
+		t.Fatalf("NewRGMA servlet keys = %v", servlets)
+	}
+	mgr, agents, err := NewHawkeyePool("m", "h1", "h2")
+	if err != nil || mgr == nil || len(agents) != 2 {
+		t.Fatalf("NewHawkeyePool = %v, %d agents", err, len(agents))
 	}
 }
 
@@ -80,10 +111,10 @@ func TestSQLConvenience(t *testing.T) {
 }
 
 func TestComponentMappingExposed(t *testing.T) {
-	if ComponentMapping["Information Server"][MDS] != "GRIS" {
+	if ComponentMapping[RoleInformationServer][MDS] != "GRIS" {
 		t.Fatal("Table 1 not exposed correctly")
 	}
-	if ComponentMapping["Directory Server"][RGMA] != "Registry" {
+	if ComponentMapping[RoleDirectoryServer][RGMA] != "Registry" {
 		t.Fatal("Table 1 registry row wrong")
 	}
 }
@@ -128,10 +159,11 @@ func TestRunExperimentQuickExp3(t *testing.T) {
 }
 
 func TestTriggerThroughPublicAPI(t *testing.T) {
-	mgr, agents, err := NewHawkeyePool("m", "h1", "h2")
+	grid, err := New(WithHosts("h1", "h2"), WithSystems(Hawkeye), WithManagerHost("m"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	mgr, _ := grid.HawkeyePool()
 	fired := 0
 	trAd := classad.NewAd()
 	trAd.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad >= 0"))
@@ -143,11 +175,10 @@ func TestTriggerThroughPublicAPI(t *testing.T) {
 	if fired != 2 {
 		t.Fatalf("fired = %d on submit, want 2", fired)
 	}
-	ad, _ := agents["h1"].StartdAd(30)
-	if _, err := mgr.Update(30, ad); err != nil {
+	if err := grid.Advertise(30); err != nil {
 		t.Fatal(err)
 	}
-	if fired != 3 {
-		t.Fatalf("fired = %d after update, want 3", fired)
+	if fired != 4 {
+		t.Fatalf("fired = %d after advertise, want 4", fired)
 	}
 }

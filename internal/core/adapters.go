@@ -27,10 +27,11 @@ func (s *GRISServer) Role() Role            { return RoleInformationServer }
 // QueryAll searches the GRIS for the configured data set.
 func (s *GRISServer) QueryAll(now float64) (Work, error) {
 	_, st := s.GRIS.Query(now, s.Filter, s.Attrs)
-	return mdsWork(st), nil
+	return MDSWork(st), nil
 }
 
-func mdsWork(st mds.QueryStats) Work {
+// MDSWork converts MDS query statistics to the uniform Work measure.
+func MDSWork(st mds.QueryStats) Work {
 	return Work{
 		CollectorInvocations: st.ProviderForkWeight,
 		RecordsVisited:       st.EntriesVisited,
@@ -45,6 +46,9 @@ type GIISServer struct {
 	GIIS *mds.GIIS
 	// AsDirectory selects which role this binding reports.
 	AsDirectory bool
+	// Filter and Attrs shape the standard query (nil/empty = all data).
+	Filter ldap.Filter
+	Attrs  []string
 	// PartFilter and PartAttrs define the "query part" request of
 	// Experiment Set 4.
 	PartFilter ldap.Filter
@@ -61,10 +65,11 @@ func (s *GIISServer) Role() Role {
 	return RoleAggregateServer
 }
 
-// QueryAll requests everything from every registered GRIS.
+// QueryAll requests the configured data set from every registered GRIS
+// (everything by default).
 func (s *GIISServer) QueryAll(now float64) (Work, error) {
-	_, st, err := s.GIIS.Query(now, nil, nil)
-	return mdsWork(st), err
+	_, st, err := s.GIIS.Query(now, s.Filter, s.Attrs)
+	return MDSWork(st), err
 }
 
 // QueryPart requests the configured slice of each registered GRIS's data.
@@ -78,7 +83,7 @@ func (s *GIISServer) QueryPart(now float64) (Work, error) {
 		attrs = []string{"Mds-Cpu-Free-1minX100"}
 	}
 	_, st, err := s.GIIS.Query(now, filter, attrs)
-	return mdsWork(st), err
+	return MDSWork(st), err
 }
 
 // Lookup performs the directory query: the cached search that resolves
@@ -112,10 +117,11 @@ func (s *ProducerServletServer) sql() string {
 // QueryAll executes the standard SQL query directly against the servlet.
 func (s *ProducerServletServer) QueryAll(now float64) (Work, error) {
 	_, st, err := s.Servlet.Query(now, s.sql())
-	return rgmaWork(st), err
+	return RGMAWork(st), err
 }
 
-func rgmaWork(st rgma.QueryStats) Work {
+// RGMAWork converts R-GMA query statistics to the uniform Work measure.
+func RGMAWork(st rgma.QueryStats) Work {
 	return Work{
 		RecordsVisited:  st.RowsScanned,
 		RecordsReturned: st.RowsReturned,
@@ -123,6 +129,34 @@ func rgmaWork(st rgma.QueryStats) Work {
 		ThreadSpawns:    st.ThreadSpawns,
 		ResponseBytes:   st.ResponseBytes,
 	}
+}
+
+// ConsumerServer binds an rgma.ConsumerServlet to the Information Server
+// role: the mediated query path, where the consumer resolves producers
+// through the Registry and fans the query out to their servlets. This is
+// how an R-GMA user queries "the grid" rather than one known servlet.
+type ConsumerServer struct {
+	Consumer *rgma.ConsumerServlet
+	// SQL is the standard query (defaults to selecting the whole
+	// "siteinfo" table).
+	SQL string
+}
+
+func (s *ConsumerServer) ComponentName() string { return "ConsumerServlet" }
+func (s *ConsumerServer) System() System        { return SystemRGMA }
+func (s *ConsumerServer) Role() Role            { return RoleInformationServer }
+
+func (s *ConsumerServer) sql() string {
+	if s.SQL != "" {
+		return s.SQL
+	}
+	return "SELECT * FROM siteinfo"
+}
+
+// QueryAll executes the standard SQL query through the mediator.
+func (s *ConsumerServer) QueryAll(now float64) (Work, error) {
+	_, st, err := s.Consumer.Query(now, s.sql())
+	return RGMAWork(st), err
 }
 
 // RegistryServer binds an rgma.Registry to the Directory Server role.
@@ -143,7 +177,7 @@ func (s *RegistryServer) Lookup(now float64) (Work, error) {
 		table = "siteinfo"
 	}
 	_, st, err := s.Registry.LookupProducersStats(table, now)
-	return rgmaWork(st), err
+	return RGMAWork(st), err
 }
 
 // --- Hawkeye adapters ---
@@ -162,10 +196,11 @@ func (s *AgentServer) Role() Role            { return RoleInformationServer }
 // QueryAll queries the Agent directly, forcing a fresh module collection.
 func (s *AgentServer) QueryAll(now float64) (Work, error) {
 	_, st := s.Agent.Query(now, s.Constraint)
-	return hawkeyeWork(st), nil
+	return HawkeyeWork(st), nil
 }
 
-func hawkeyeWork(st hawkeye.QueryStats) Work {
+// HawkeyeWork converts Hawkeye query statistics to the uniform Work measure.
+func HawkeyeWork(st hawkeye.QueryStats) Work {
 	return Work{
 		CollectorInvocations: st.ModuleExecWeight,
 		RecordsVisited:       st.AdsScanned,
@@ -198,7 +233,7 @@ func (s *ManagerServer) Role() Role {
 // QueryAll scans the pool with the configured constraint.
 func (s *ManagerServer) QueryAll(now float64) (Work, error) {
 	_, st := s.Manager.Query(now, s.Constraint)
-	return hawkeyeWork(st), nil
+	return HawkeyeWork(st), nil
 }
 
 // QueryPart scans the pool but returns only matching ads for a narrow
@@ -209,7 +244,7 @@ func (s *ManagerServer) QueryPart(now float64) (Work, error) {
 		constraint = classad.MustParseExpr("TARGET.CpuLoad > 200") // matches nothing
 	}
 	_, st := s.Manager.Query(now, constraint)
-	return hawkeyeWork(st), nil
+	return HawkeyeWork(st), nil
 }
 
 // Lookup performs the directory query: the pool-membership scan a status
@@ -275,6 +310,7 @@ func (c *ProducerCollector) Collect(now float64) (int, error) {
 var (
 	_ InformationServer          = (*GRISServer)(nil)
 	_ InformationServer          = (*ProducerServletServer)(nil)
+	_ InformationServer          = (*ConsumerServer)(nil)
 	_ InformationServer          = (*AgentServer)(nil)
 	_ DirectoryServer            = (*GIISServer)(nil)
 	_ DirectoryServer            = (*RegistryServer)(nil)
@@ -292,6 +328,9 @@ var (
 // that registered with the data streams of a number of Producers").
 type CompositeServer struct {
 	Composite *rgma.CompositeProducer
+	// SQL is the standard query (defaults to selecting the whole
+	// aggregated table).
+	SQL string
 	// PartSQL is the query-part request (defaults to a single-host
 	// slice of the table).
 	PartSQL string
@@ -304,7 +343,7 @@ func (s *CompositeServer) Role() Role            { return RoleAggregateServer }
 // QueryAll requests the whole aggregated table.
 func (s *CompositeServer) QueryAll(now float64) (Work, error) {
 	_, st, err := s.Composite.Query(now, "SELECT * FROM "+s.Composite.Table)
-	return rgmaWork(st), err
+	return RGMAWork(st), err
 }
 
 // QueryPart requests a slice of the aggregated table.
@@ -314,7 +353,7 @@ func (s *CompositeServer) QueryPart(now float64) (Work, error) {
 		sql = "SELECT host, value FROM " + s.Composite.Table + " WHERE metric = 'metric-00'"
 	}
 	_, st, err := s.Composite.Query(now, sql)
-	return rgmaWork(st), err
+	return RGMAWork(st), err
 }
 
 var _ AggregateInformationServer = (*CompositeServer)(nil)

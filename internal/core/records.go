@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classad"
+	"repro/internal/gma"
+	"repro/internal/ldap"
+	"repro/internal/relational"
+)
+
+// Record is one decoded result record in the uniform shape shared by all
+// three systems: a key identifying the record (an LDAP DN, a row key, a
+// machine name) plus flat string fields. Records are what the v2 query
+// API returns, so they must survive a JSON round trip unchanged —
+// in-process and remote queries compare equal on them.
+type Record struct {
+	Key    string            `json:"key"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Project returns a copy of r keeping only the named fields (nil or empty
+// attrs returns r unchanged). Unknown names are ignored, matching LDAP
+// projection semantics.
+func (r Record) Project(attrs []string) Record {
+	if len(attrs) == 0 {
+		return r
+	}
+	out := Record{Key: r.Key, Fields: make(map[string]string, len(attrs))}
+	for _, a := range attrs {
+		if v, ok := r.Fields[a]; ok {
+			out.Fields[a] = v
+		}
+	}
+	return out
+}
+
+// ProjectRecords applies Project to every record.
+func ProjectRecords(recs []Record, attrs []string) []Record {
+	if len(attrs) == 0 {
+		return recs
+	}
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = r.Project(attrs)
+	}
+	return out
+}
+
+// RecordQuerier is the record-returning face of a Table 1 component
+// binding: one standard query decoded into uniform records, with the
+// Work it cost. Every adapter in this package implements it.
+type RecordQuerier interface {
+	Component
+	QueryRecords(now float64) ([]Record, Work, error)
+}
+
+// --- decoders: each system's native result shape into []Record ---
+
+// MDSRecords decodes LDAP entries: the record key is the DN and each
+// attribute becomes a field (multi-valued attributes joined with "|").
+func MDSRecords(entries []*ldap.Entry) []Record {
+	out := make([]Record, len(entries))
+	for i, e := range entries {
+		fields := make(map[string]string)
+		for _, attr := range e.Attributes() {
+			fields[attr] = strings.Join(e.Get(attr), "|")
+		}
+		out[i] = Record{Key: e.DN.String(), Fields: fields}
+	}
+	return out
+}
+
+// RGMARecords decodes a relational result: one record per row, keyed by
+// position (SQL rows have no inherent identity), each column a field.
+func RGMARecords(res *relational.Result) []Record {
+	if res == nil {
+		return nil
+	}
+	out := make([]Record, len(res.Rows))
+	for i, row := range res.Rows {
+		fields := make(map[string]string, len(res.Columns))
+		for c, col := range res.Columns {
+			if c < len(row) {
+				fields[col] = plainValue(row[c])
+			}
+		}
+		out[i] = Record{Key: fmt.Sprintf("row-%04d", i), Fields: fields}
+	}
+	return out
+}
+
+// plainValue renders a SQL cell as plain text: strings unquoted (the
+// record field is decoded data, not a SQL literal), numbers as usual.
+func plainValue(v relational.Value) string {
+	if v.Type == relational.StringType {
+		return v.S
+	}
+	return v.String()
+}
+
+// AdvertisementRecords decodes GMA producer advertisements (the R-GMA
+// Registry's directory answer), keyed by producer ID.
+func AdvertisementRecords(ads []gma.Advertisement) []Record {
+	out := make([]Record, len(ads))
+	for i, ad := range ads {
+		fields := map[string]string{
+			"address": ad.Address,
+			"table":   ad.TableName,
+		}
+		if ad.Predicate != "" {
+			fields["predicate"] = ad.Predicate
+		}
+		out[i] = Record{Key: ad.ProducerID, Fields: fields}
+	}
+	return out
+}
+
+// HawkeyeRecords decodes ClassAds, keyed by the ad's Name attribute, each
+// attribute unparsed to its expression text. Ads are sorted by key so the
+// record order is deterministic regardless of pool-map iteration.
+func HawkeyeRecords(ads []*classad.Ad) []Record {
+	out := make([]Record, 0, len(ads))
+	for _, ad := range ads {
+		if ad == nil {
+			continue
+		}
+		fields := make(map[string]string, ad.Len())
+		for _, name := range ad.SortedNames() {
+			if e, ok := ad.Lookup(name); ok {
+				fields[name] = e.String()
+			}
+		}
+		key, _ := ad.Eval("Name").StringVal()
+		out = append(out, Record{Key: key, Fields: fields})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// HostRecords decodes a bare host/name list (directory listings).
+func HostRecords(hosts []string) []Record {
+	out := make([]Record, len(hosts))
+	for i, h := range hosts {
+		out[i] = Record{Key: h}
+	}
+	return out
+}
+
+// --- record-returning queries on the adapters ---
+
+// QueryRecords answers the configured GRIS query with decoded entries.
+func (s *GRISServer) QueryRecords(now float64) ([]Record, Work, error) {
+	entries, st := s.GRIS.Query(now, s.Filter, s.Attrs)
+	return MDSRecords(entries), MDSWork(st), nil
+}
+
+// QueryRecords answers the configured GIIS query with decoded entries.
+func (s *GIISServer) QueryRecords(now float64) ([]Record, Work, error) {
+	entries, st, err := s.GIIS.Query(now, s.Filter, s.Attrs)
+	return MDSRecords(entries), MDSWork(st), err
+}
+
+// QueryRecords answers the configured SQL query with decoded rows.
+func (s *ProducerServletServer) QueryRecords(now float64) ([]Record, Work, error) {
+	res, st, err := s.Servlet.Query(now, s.sql())
+	return RGMARecords(res), RGMAWork(st), err
+}
+
+// QueryRecords answers the configured SQL query through the mediator
+// with decoded rows.
+func (s *ConsumerServer) QueryRecords(now float64) ([]Record, Work, error) {
+	res, st, err := s.Consumer.Query(now, s.sql())
+	return RGMARecords(res), RGMAWork(st), err
+}
+
+// QueryRecords resolves the configured table's producers as records.
+func (s *RegistryServer) QueryRecords(now float64) ([]Record, Work, error) {
+	table := s.Table
+	if table == "" {
+		table = "siteinfo"
+	}
+	ads, st, err := s.Registry.LookupProducersStats(table, now)
+	return AdvertisementRecords(ads), RGMAWork(st), err
+}
+
+// QueryRecords answers the configured Agent query with the decoded
+// Startd ad (zero records when the constraint rejects it).
+func (s *AgentServer) QueryRecords(now float64) ([]Record, Work, error) {
+	ad, st := s.Agent.Query(now, s.Constraint)
+	if ad == nil {
+		return nil, HawkeyeWork(st), nil
+	}
+	return HawkeyeRecords([]*classad.Ad{ad}), HawkeyeWork(st), nil
+}
+
+// QueryRecords scans the pool with the configured constraint, returning
+// the matching ads as records.
+func (s *ManagerServer) QueryRecords(now float64) ([]Record, Work, error) {
+	ads, st := s.Manager.Query(now, s.Constraint)
+	return HawkeyeRecords(ads), HawkeyeWork(st), nil
+}
+
+// QueryRecords answers the configured SQL query against the composite
+// producer's aggregated table.
+func (s *CompositeServer) QueryRecords(now float64) ([]Record, Work, error) {
+	sql := s.SQL
+	if sql == "" {
+		sql = "SELECT * FROM " + s.Composite.Table
+	}
+	res, st, err := s.Composite.Query(now, sql)
+	return RGMARecords(res), RGMAWork(st), err
+}
+
+// Every adapter answers record-returning queries.
+var (
+	_ RecordQuerier = (*GRISServer)(nil)
+	_ RecordQuerier = (*GIISServer)(nil)
+	_ RecordQuerier = (*ProducerServletServer)(nil)
+	_ RecordQuerier = (*ConsumerServer)(nil)
+	_ RecordQuerier = (*RegistryServer)(nil)
+	_ RecordQuerier = (*AgentServer)(nil)
+	_ RecordQuerier = (*ManagerServer)(nil)
+	_ RecordQuerier = (*CompositeServer)(nil)
+)

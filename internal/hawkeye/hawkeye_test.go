@@ -3,6 +3,7 @@ package hawkeye
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/classad"
 )
@@ -290,5 +291,50 @@ func TestStartdAdGrowsWithModules(t *testing.T) {
 	if bAd.SizeBytes() <= sAd.SizeBytes() {
 		t.Fatalf("90-module ad (%dB) not larger than 11-module ad (%dB)",
 			bAd.SizeBytes(), sAd.SizeBytes())
+	}
+}
+
+// TestTriggerFireReentrant: Fire callbacks run outside the Manager's
+// lock, so a one-shot trigger may remove itself (and inspect the pool)
+// from inside its own callback without deadlocking.
+func TestTriggerFireReentrant(t *testing.T) {
+	mgr := NewManager("m", 0)
+	a := NewAgent("h1", 30)
+	if err := a.AddModules(DefaultModules()); err != nil {
+		t.Fatal(err)
+	}
+	ad, _ := a.StartdAd(0)
+	if _, err := mgr.Update(0, ad); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	tr := &Trigger{Name: "oneshot", Ad: classad.NewAd()}
+	tr.Ad.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad >= 0"))
+	tr.Fire = func(machine string, _ *classad.Ad) {
+		fired++
+		if _, _, ok := mgr.QueryByName(0, machine); !ok { // reentrant read
+			t.Errorf("machine %q not found from Fire", machine)
+		}
+		mgr.RemoveTrigger("oneshot") // reentrant write
+	}
+	done := make(chan struct{})
+	go func() {
+		mgr.SubmitTrigger(0, tr)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitTrigger deadlocked on reentrant Fire callback")
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// The trigger removed itself: a fresh advertise must not re-fire.
+	if _, err := mgr.Update(30, ad); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("one-shot trigger fired again: %d", fired)
 	}
 }

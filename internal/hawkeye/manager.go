@@ -3,6 +3,7 @@ package hawkeye
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/classad"
 )
@@ -22,12 +23,17 @@ type Trigger struct {
 // ClassAds from registered Agents into an indexed resident database,
 // answers status queries about pool members, and performs ClassAd
 // Matchmaking between submitted Trigger ClassAds and Startd ClassAds.
+// It is safe for concurrent use: the live server advertises from a
+// background goroutine while serving queries. Trigger Fire callbacks
+// run after the Manager's lock is released, so they may call back into
+// it (e.g. RemoveTrigger for one-shot triggers).
 type Manager struct {
 	Name string
 	// AdLifetime expires pool members that stop advertising. Zero means
 	// ads never expire.
 	AdLifetime float64
 
+	mu       sync.Mutex
 	ads      map[string]*machineAd // indexed by lowercase machine name
 	order    []string
 	triggers []*Trigger
@@ -46,17 +52,38 @@ func NewManager(name string, adLifetime float64) *Manager {
 
 // NumMachines reports the number of live pool members at time now.
 func (m *Manager) NumMachines(now float64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.expire(now)
 	return len(m.ads)
+}
+
+// firing is one matched trigger whose Fire callback is pending; matches
+// are collected under the lock and fired after it is released, so
+// callbacks may call back into the Manager.
+type firing struct {
+	tr      *Trigger
+	machine string
+	ad      *classad.Ad
+}
+
+func fire(firings []firing) {
+	for _, f := range firings {
+		if f.tr.Fire != nil {
+			f.tr.Fire(f.machine, f.ad)
+		}
+	}
 }
 
 // Update ingests a Startd ClassAd (the hawkeye_advertise path). The ad
 // must carry a Name attribute identifying the machine. Matching triggers
 // fire immediately. It returns the number of triggers fired.
 func (m *Manager) Update(now float64, ad *classad.Ad) (int, error) {
+	m.mu.Lock()
 	nameV := ad.Eval("Name")
 	name, ok := nameV.StringVal()
 	if !ok || name == "" {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("hawkeye: advertised ad has no Name")
 	}
 	key := lower(name)
@@ -68,19 +95,18 @@ func (m *Manager) Update(now float64, ad *classad.Ad) (int, error) {
 	}
 	rec.ad = ad
 	rec.expires = now + m.AdLifetime
-	fired := 0
+	var firings []firing
 	for _, tr := range m.triggers {
 		if classad.Match(tr.Ad, ad) {
-			fired++
-			if tr.Fire != nil {
-				tr.Fire(name, ad)
-			}
+			firings = append(firings, firing{tr: tr, machine: name, ad: ad})
 		}
 	}
-	return fired, nil
+	m.mu.Unlock()
+	fire(firings)
+	return len(firings), nil
 }
 
-// expire drops pool members whose ads lapsed.
+// expire drops pool members whose ads lapsed. Callers hold mu.
 func (m *Manager) expire(now float64) {
 	if m.AdLifetime <= 0 {
 		return
@@ -100,6 +126,8 @@ func (m *Manager) expire(now float64) {
 // no scan, the "indexed resident database" advantage the paper credits for
 // the Manager's efficiency.
 func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.expire(now)
 	rec, ok := m.ads[lower(name)]
 	if !ok {
@@ -113,6 +141,8 @@ func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats
 // constraint expression. A nil constraint returns everything. The paper's
 // worst case — a constraint met by no machine — still scans the full pool.
 func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, QueryStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.expire(now)
 	var st QueryStats
 	var out []*classad.Ad
@@ -137,23 +167,25 @@ func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, Qu
 // current pool immediately (returning the fire count) and then on every
 // subsequent Update.
 func (m *Manager) SubmitTrigger(now float64, tr *Trigger) int {
+	m.mu.Lock()
 	m.expire(now)
 	m.triggers = append(m.triggers, tr)
-	fired := 0
+	var firings []firing
 	for _, key := range m.order {
 		rec := m.ads[key]
 		if classad.Match(tr.Ad, rec.ad) {
-			fired++
-			if tr.Fire != nil {
-				tr.Fire(rec.name, rec.ad)
-			}
+			firings = append(firings, firing{tr: tr, machine: rec.name, ad: rec.ad})
 		}
 	}
-	return fired
+	m.mu.Unlock()
+	fire(firings)
+	return len(firings)
 }
 
 // RemoveTrigger uninstalls the named trigger, reporting whether it existed.
 func (m *Manager) RemoveTrigger(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for i, tr := range m.triggers {
 		if tr.Name == name {
 			m.triggers = append(m.triggers[:i], m.triggers[i+1:]...)
@@ -165,6 +197,8 @@ func (m *Manager) RemoveTrigger(name string) bool {
 
 // Machines lists live pool-member names in sorted order.
 func (m *Manager) Machines(now float64) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.expire(now)
 	out := make([]string, 0, len(m.order))
 	for _, key := range m.order {
@@ -178,6 +212,8 @@ func (m *Manager) Machines(now float64) []string {
 // an Agent directly must first ask the Manager for the Agent's address,
 // the two-step lookup the paper describes.
 func (m *Manager) AgentAddress(now float64, name string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.expire(now)
 	rec, ok := m.ads[lower(name)]
 	if !ok {

@@ -1,9 +1,16 @@
 // Package liveops wires the three monitoring services to the live
 // transport's operation namespace. cmd/gridmon-live uses it to serve real
 // TCP clients; tests exercise the same wiring in-process.
+//
+// Each of the six documented ops is registered twice on the server: as a
+// legacy v1 handler (old Request{Op, Params} frames keep answering with
+// the v1 Response shape — the compatibility shim for pre-v2 clients) and
+// as a typed v2 handler (OpRequest to OpResponse) that returns structured
+// error codes and honors propagated context deadlines.
 package liveops
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,6 +23,8 @@ import (
 )
 
 // Deployment is the set of live services the operations dispatch to.
+// Components may be nil when the corresponding system is not deployed;
+// their ops then fail with transport.CodeUnavailable.
 type Deployment struct {
 	GIIS     *mds.GIIS
 	Registry *rgma.Registry
@@ -26,7 +35,24 @@ type Deployment struct {
 	Now func() float64
 }
 
-// Register installs every operation on the server:
+// OpRequest is the v2 request body of the param-based ops: the same
+// key/value parameters the v1 protocol carried.
+type OpRequest struct {
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// OpResponse is the v2 response body of the param-based ops.
+type OpResponse struct {
+	Payload string `json:"payload"`
+}
+
+// opFunc is one op's shared implementation, used by both protocol
+// generations. Returned errors should be *transport.Error to carry a
+// structured code; plain errors are classified as exec failures.
+type opFunc func(params map[string]string) (string, error)
+
+// Register installs every operation on the server, in both protocol
+// generations:
 //
 //	mds.query      params: filter (RFC 1960), attrs (comma-separated)
 //	mds.hosts      list registered hosts
@@ -39,36 +65,45 @@ func Register(srv *transport.Server, dep Deployment) {
 	if now == nil {
 		now = func() float64 { return 0 }
 	}
-	srv.Handle("mds.query", func(req transport.Request) transport.Response {
+	register(srv, "mds.query", func(params map[string]string) (string, error) {
+		if dep.GIIS == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
+		}
 		var filter ldap.Filter
-		if f := req.Params["filter"]; f != "" {
+		if f := params["filter"]; f != "" {
 			var err error
 			filter, err = ldap.ParseFilter(f)
 			if err != nil {
-				return transport.Response{Error: err.Error()}
+				return "", transport.Errf(transport.CodeParse, "%v", err)
 			}
 		}
 		var attrs []string
-		if a := req.Params["attrs"]; a != "" {
+		if a := params["attrs"]; a != "" {
 			attrs = strings.Split(a, ",")
 		}
 		entries, _, err := dep.GIIS.Query(now(), filter, attrs)
 		if err != nil {
-			return transport.Response{Error: err.Error()}
+			return "", err
 		}
-		return transport.Response{OK: true, Payload: ldap.FormatResults(entries)}
+		return ldap.FormatResults(entries), nil
 	})
-	srv.Handle("mds.hosts", func(transport.Request) transport.Response {
-		return transport.Response{OK: true, Payload: strings.Join(dep.GIIS.Hosts(now()), "\n")}
+	register(srv, "mds.hosts", func(map[string]string) (string, error) {
+		if dep.GIIS == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
+		}
+		return strings.Join(dep.GIIS.Hosts(now()), "\n"), nil
 	})
-	srv.Handle("rgma.query", func(req transport.Request) transport.Response {
-		sql := req.Params["sql"]
+	register(srv, "rgma.query", func(params map[string]string) (string, error) {
+		if dep.Consumer == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
+		}
+		sql := params["sql"]
 		if sql == "" {
-			return transport.Response{Error: "missing sql parameter"}
+			return "", transport.Errf(transport.CodeBadRequest, "missing sql parameter")
 		}
 		res, _, err := dep.Consumer.Query(now(), sql)
 		if err != nil {
-			return transport.Response{Error: err.Error()}
+			return "", err
 		}
 		var sb strings.Builder
 		sb.WriteString(strings.Join(res.Columns, ","))
@@ -81,18 +116,24 @@ func Register(srv *transport.Server, dep Deployment) {
 			sb.WriteString(strings.Join(parts, ","))
 			sb.WriteByte('\n')
 		}
-		return transport.Response{OK: true, Payload: sb.String()}
+		return sb.String(), nil
 	})
-	srv.Handle("rgma.tables", func(transport.Request) transport.Response {
-		return transport.Response{OK: true, Payload: strings.Join(dep.Registry.Tables(now()), "\n")}
+	register(srv, "rgma.tables", func(map[string]string) (string, error) {
+		if dep.Registry == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
+		}
+		return strings.Join(dep.Registry.Tables(now()), "\n"), nil
 	})
-	srv.Handle("hawkeye.query", func(req transport.Request) transport.Response {
+	register(srv, "hawkeye.query", func(params map[string]string) (string, error) {
+		if dep.Manager == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
+		}
 		var constraint classad.Expr
-		if c := req.Params["constraint"]; c != "" {
+		if c := params["constraint"]; c != "" {
 			var err error
 			constraint, err = classad.ParseExpr(c)
 			if err != nil {
-				return transport.Response{Error: err.Error()}
+				return "", transport.Errf(transport.CodeParse, "%v", err)
 			}
 		}
 		ads, _ := dep.Manager.Query(now(), constraint)
@@ -101,10 +142,32 @@ func Register(srv *transport.Server, dep Deployment) {
 			sb.WriteString(ad.Unparse())
 			sb.WriteByte('\n')
 		}
-		return transport.Response{OK: true, Payload: sb.String()}
+		return sb.String(), nil
 	})
-	srv.Handle("hawkeye.pool", func(transport.Request) transport.Response {
-		return transport.Response{OK: true, Payload: strings.Join(dep.Manager.Machines(now()), "\n")}
+	register(srv, "hawkeye.pool", func(map[string]string) (string, error) {
+		if dep.Manager == nil {
+			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
+		}
+		return strings.Join(dep.Manager.Machines(now()), "\n"), nil
+	})
+}
+
+// register installs one shared implementation under both protocol
+// generations.
+func register(srv *transport.Server, op string, fn opFunc) {
+	srv.Handle(op, func(req transport.Request) transport.Response {
+		payload, err := fn(req.Params)
+		if err != nil {
+			return transport.Response{Error: transport.AsError(err).Message}
+		}
+		return transport.Response{OK: true, Payload: payload}
+	})
+	transport.Handle(srv, op, func(_ context.Context, req OpRequest) (OpResponse, error) {
+		payload, err := fn(req.Params)
+		if err != nil {
+			return OpResponse{}, err
+		}
+		return OpResponse{Payload: payload}, nil
 	})
 }
 

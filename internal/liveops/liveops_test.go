@@ -1,6 +1,7 @@
 package liveops
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -144,6 +145,91 @@ func TestLiveOpsComplete(t *testing.T) {
 	for _, op := range want {
 		if !got[op] {
 			t.Errorf("missing op %q", op)
+		}
+	}
+}
+
+// --- typed v2 coverage ---
+
+// TestV2OpsTyped: every param-based op also answers typed v2 frames.
+func TestV2OpsTyped(t *testing.T) {
+	c := startLive(t)
+	ctx := context.Background()
+	for op, want := range map[string]string{
+		"mds.hosts":    "lucky4",
+		"rgma.tables":  "siteinfo",
+		"hawkeye.pool": "lucky7",
+	} {
+		var resp OpResponse
+		if err := c.CallV2(ctx, op, OpRequest{}, &resp); err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if !strings.Contains(resp.Payload, want) {
+			t.Errorf("%s = %q, want %q", op, resp.Payload, want)
+		}
+	}
+	var resp OpResponse
+	err := c.CallV2(ctx, "rgma.query", OpRequest{Params: map[string]string{
+		"sql": "SELECT host, value FROM siteinfo",
+	}}, &resp)
+	if err != nil || !strings.HasPrefix(resp.Payload, "host,value") {
+		t.Fatalf("rgma.query = %q, %v", resp.Payload, err)
+	}
+}
+
+// TestV2ErrorCodes: parse failures and missing params carry structured
+// codes over the v2 protocol.
+func TestV2ErrorCodes(t *testing.T) {
+	c := startLive(t)
+	ctx := context.Background()
+	cases := []struct {
+		op     string
+		params map[string]string
+		code   transport.Code
+	}{
+		{"mds.query", map[string]string{"filter": "(((broken"}, transport.CodeParse},
+		{"hawkeye.query", map[string]string{"constraint": "1 +"}, transport.CodeParse},
+		{"rgma.query", nil, transport.CodeBadRequest},
+		{"rgma.query", map[string]string{"sql": "DELETE FROM siteinfo"}, transport.CodeExec},
+		{"no.such.op", nil, transport.CodeUnknownOp},
+	}
+	for _, tc := range cases {
+		err := c.CallV2(ctx, tc.op, OpRequest{Params: tc.params}, nil)
+		if transport.ErrorCode(err) != tc.code {
+			t.Errorf("%s %v: err = %v, want code %s", tc.op, tc.params, err, tc.code)
+		}
+	}
+}
+
+// TestPartialDeploymentUnavailable: ops for systems missing from the
+// Deployment fail with the unavailable code instead of panicking.
+func TestPartialDeploymentUnavailable(t *testing.T) {
+	dep, _, err := BuildDefault([]string{"h"}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Manager = nil // no Hawkeye here
+	srv := transport.NewServer()
+	Register(srv, dep)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, op := range []string{"hawkeye.query", "hawkeye.pool"} {
+		err := c.CallV2(context.Background(), op, OpRequest{}, nil)
+		if transport.ErrorCode(err) != transport.CodeUnavailable {
+			t.Errorf("%s: err = %v, want unavailable", op, err)
+		}
+		// The v1 generation fails too (with a bare message) rather than
+		// crashing the server.
+		if _, err := c.Call(op, nil); err == nil {
+			t.Errorf("v1 %s: no error", op)
 		}
 	}
 }

@@ -1,5 +1,11 @@
 // Package transport provides the live-mode wire layer: length-prefixed
-// JSON messages over TCP (or any net.Conn), with a tiny op-dispatch
+// JSON messages over TCP (or any net.Conn), with an op-dispatch server
+// speaking two protocol generations over one connection format. The
+// legacy v1 exchange is Request{Op, Params} to Response{OK, Error,
+// Payload} with string payloads; the typed v2 exchange (see v2.go)
+// carries JSON request/response bodies for generic per-op handlers
+// registered with the package-level Handle function, returns structured
+// error codes, and propagates the client's context deadline to the
 // server. The monitoring services' engines are pure request/response
 // logic; this package makes them network services a real client can
 // query, complementing the simulated testbed used for the experiments.
@@ -7,12 +13,14 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -74,10 +82,14 @@ func ReadFrame(r io.Reader, v interface{}) error {
 // the Server serializes calls per default unless Concurrent is set.
 type Handler func(Request) Response
 
-// Server dispatches framed requests to registered op handlers.
+// Server dispatches framed requests to registered op handlers. One op
+// namespace serves both protocol generations: v1 string-payload handlers
+// (Handle method) and typed v2 handlers (the package-level generic
+// Handle function); each incoming frame is routed by its "v" field.
 type Server struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
+	v2       map[string]rawV2Handler
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   bool
@@ -87,9 +99,14 @@ type Server struct {
 	callMu     sync.Mutex
 }
 
-// NewServer returns an empty server.
+// NewServer returns a server with only the built-in "ops.list"
+// introspection op registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler)}
+	s := &Server{handlers: make(map[string]Handler), v2: make(map[string]rawV2Handler)}
+	Handle(s, "ops.list", func(context.Context, struct{}) (OpsList, error) {
+		return OpsList{Ops: s.Ops()}, nil
+	})
+	return s
 }
 
 // Handle registers a handler for op, replacing any previous one.
@@ -99,14 +116,23 @@ func (s *Server) Handle(op string, h Handler) {
 	s.handlers[op] = h
 }
 
-// Ops lists registered operation names.
+// Ops lists registered operation names across both protocol
+// generations, sorted.
 func (s *Server) Ops() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.handlers))
+	seen := make(map[string]bool, len(s.handlers)+len(s.v2))
+	out := make([]string, 0, len(s.handlers)+len(s.v2))
 	for op := range s.handlers {
+		seen[op] = true
 		out = append(out, op)
 	}
+	for op := range s.v2 {
+		if !seen[op] {
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -155,17 +181,25 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn answers requests on one connection until it closes.
+// serveConn answers requests on one connection until it closes. Frames
+// carrying "v":2 take the typed v2 path; everything else is served as a
+// v1 request and answered in the v1 Response shape.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		var req Request
+		var req requestFrame
 		if err := ReadFrame(r, &req); err != nil {
 			return
 		}
-		resp := s.dispatch(req)
+		var resp responseFrame
+		if req.V >= 2 {
+			resp = s.dispatchV2(req)
+		} else {
+			v1 := s.dispatch(Request{Op: req.Op, Params: req.Params})
+			resp = responseFrame{OK: v1.OK, Error: v1.Error, Payload: v1.Payload}
+		}
 		if err := WriteFrame(w, resp); err != nil {
 			return
 		}

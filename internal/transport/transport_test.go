@@ -169,7 +169,10 @@ func TestOpsListing(t *testing.T) {
 	srv := NewServer()
 	srv.Handle("a", func(Request) Response { return Response{OK: true} })
 	srv.Handle("b", func(Request) Response { return Response{OK: true} })
-	if got := srv.Ops(); len(got) != 2 {
+	// The built-in ops.list introspection op is always present, and the
+	// listing is sorted.
+	got := srv.Ops()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "ops.list" {
 		t.Fatalf("ops = %v", got)
 	}
 }

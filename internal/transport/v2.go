@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// This file is the typed v2 protocol. A v2 frame is the same
+// length-prefixed JSON envelope as v1, with "v":2, a typed JSON body in
+// place of the string params/payload, a structured error code on
+// failure, and the client's remaining context budget propagated as
+// "timeout_ms" so the server can honor the caller's deadline. Servers
+// answer v1 frames (no "v" field) with the v1 Response shape forever;
+// the two generations share one op namespace and one connection format.
+
+// Code classifies a v2 failure so clients can react programmatically
+// (and CLI tools can map it to an exit status).
+type Code string
+
+// The v2 error codes.
+const (
+	// CodeBadRequest: the request body did not decode into the op's
+	// request type.
+	CodeBadRequest Code = "bad_request"
+	// CodeUnknownOp: no handler is registered for the op (see the
+	// "ops.list" introspection op for the registered names).
+	CodeUnknownOp Code = "unknown_op"
+	// CodeParse: a query expression failed to parse (LDAP filter, SQL,
+	// ClassAd constraint).
+	CodeParse Code = "parse_error"
+	// CodeExec: the handler ran and failed.
+	CodeExec Code = "exec_error"
+	// CodeUnavailable: the target system or component is not deployed on
+	// this server.
+	CodeUnavailable Code = "unavailable"
+	// CodeDeadline: the caller's deadline expired before the handler
+	// finished (or before it started).
+	CodeDeadline Code = "deadline_exceeded"
+	// CodeCanceled: the caller cancelled the request (context.Canceled,
+	// not a deadline).
+	CodeCanceled Code = "canceled"
+	// CodeProtocol: the peer does not speak the v2 protocol (a v1-only
+	// server answered a v2 frame).
+	CodeProtocol Code = "protocol_mismatch"
+	// CodeInternal: the server failed to encode its own response.
+	CodeInternal Code = "internal"
+)
+
+// Error is a structured v2 failure.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s [%s]", e.Message, e.Code) }
+
+// Errf builds a coded error.
+func Errf(code Code, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorCode extracts the structured code from err, defaulting to
+// CodeExec for plain errors and CodeDeadline for context expiry.
+func ErrorCode(err error) Code { return AsError(err).Code }
+
+// AsError coerces any error to a structured *Error: structured errors
+// pass through; context expiry and socket-deadline timeouts (the form a
+// client's armed conn deadline surfaces as) map to CodeDeadline;
+// everything else to CodeExec. A nil error yields a zero-code *Error,
+// so ErrorCode(nil) == "" rather than panicking.
+func AsError(err error) *Error {
+	if err == nil {
+		return &Error{}
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return e
+	}
+	if errors.Is(err, context.Canceled) {
+		return &Error{Code: CodeCanceled, Message: err.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return &Error{Code: CodeDeadline, Message: err.Error()}
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return &Error{Code: CodeDeadline, Message: err.Error()}
+	}
+	return &Error{Code: CodeExec, Message: err.Error()}
+}
+
+// requestFrame is the on-wire superset of the v1 and v2 request shapes.
+type requestFrame struct {
+	V  int    `json:"v,omitempty"`
+	Op string `json:"op"`
+	// v1 fields.
+	Params map[string]string `json:"params,omitempty"`
+	// v2 fields.
+	Body          json.RawMessage `json:"body,omitempty"`
+	TimeoutMillis int64           `json:"timeout_ms,omitempty"`
+}
+
+// responseFrame is the on-wire superset of the v1 and v2 response
+// shapes. For a v1 request only ok/error/payload are populated, so the
+// bytes on the wire are exactly the v1 Response encoding.
+type responseFrame struct {
+	V     int    `json:"v,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// v1 field.
+	Payload string `json:"payload,omitempty"`
+	// v2 fields.
+	Code Code            `json:"code,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// rawV2Handler is the type-erased form a registered v2 handler is stored
+// in: body bytes in, body bytes or structured error out.
+type rawV2Handler func(ctx context.Context, body json.RawMessage) (json.RawMessage, *Error)
+
+// Handle registers a typed v2 handler for op on s, replacing any
+// previous one. The request body is decoded into Req, the handler's
+// Resp is encoded as the response body, and a returned error becomes a
+// structured error frame (keeping its Code when it is a *Error). The
+// context carries the client's propagated deadline, when it sent one.
+func Handle[Req, Resp any](s *Server, op string, fn func(context.Context, Req) (Resp, error)) {
+	raw := func(ctx context.Context, body json.RawMessage) (json.RawMessage, *Error) {
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, Errf(CodeBadRequest, "op %q: decoding request: %v", op, err)
+			}
+		}
+		resp, err := fn(ctx, req)
+		if err != nil {
+			return nil, AsError(err)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return nil, Errf(CodeInternal, "op %q: encoding response: %v", op, err)
+		}
+		return out, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v2[op] = raw
+}
+
+// OpsList is the response of the built-in "ops.list" introspection op:
+// every registered op name (v1 and v2), sorted.
+type OpsList struct {
+	Ops []string `json:"ops"`
+}
+
+// dispatchV2 runs the v2 handler for one request, honoring the client's
+// propagated deadline and the server's concurrency policy.
+func (s *Server) dispatchV2(req requestFrame) responseFrame {
+	s.mu.Lock()
+	h := s.v2[req.Op]
+	s.mu.Unlock()
+	if h == nil {
+		return v2Failure(Errf(CodeUnknownOp, "unknown op %q (try ops.list)", req.Op))
+	}
+	ctx := context.Background()
+	if req.TimeoutMillis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMillis)*time.Millisecond)
+		defer cancel()
+	}
+	if !s.Concurrent {
+		s.callMu.Lock()
+		defer s.callMu.Unlock()
+	}
+	// The deadline may already have passed while queued behind other
+	// calls; don't start work the client has given up on.
+	if err := ctx.Err(); err != nil {
+		return v2Failure(Errf(CodeDeadline, "op %q: %v", req.Op, err))
+	}
+	body, herr := h(ctx, req.Body)
+	if herr != nil {
+		return v2Failure(herr)
+	}
+	return responseFrame{V: 2, OK: true, Body: body}
+}
+
+func v2Failure(e *Error) responseFrame {
+	return responseFrame{V: 2, Error: e.Message, Code: e.Code}
+}
+
+// CallV2 performs one typed request/response exchange: req is encoded as
+// the request body and the response body is decoded into resp (which may
+// be nil to discard it). The remaining budget of ctx, when it has a
+// deadline, is propagated to the server and also bounds the socket I/O;
+// cancelling ctx likewise unblocks the call. After a deadline or
+// cancellation failure the connection may hold a half-read frame, so
+// callers should Close and re-Dial. Server failures are returned as
+// *Error with their structured code; a server that only speaks the v1
+// protocol fails loudly with CodeProtocol rather than mis-executing the
+// request.
+func (c *Client) CallV2(ctx context.Context, op string, req, resp interface{}) error {
+	frame := requestFrame{V: 2, Op: op}
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return Errf(CodeBadRequest, "op %q: encoding request: %v", op, err)
+		}
+		frame.Body = b
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return Errf(CodeDeadline, "op %q: %v", op, context.DeadlineExceeded)
+		}
+		frame.TimeoutMillis = int64(remaining / time.Millisecond)
+		if frame.TimeoutMillis == 0 {
+			frame.TimeoutMillis = 1
+		}
+		c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	} else if done := ctx.Done(); done != nil {
+		// No deadline but cancellable: a watcher poisons the socket
+		// deadline on cancellation so the blocking read returns. The
+		// cleanup waits for the watcher to exit before clearing the
+		// deadline, so a cancel racing the call's completion cannot
+		// leave the connection poisoned.
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-exited
+			c.conn.SetDeadline(time.Time{})
+		}()
+	}
+	if err := ctx.Err(); err != nil {
+		return AsError(err)
+	}
+	if err := c.exchange(ctx, frame, op, resp); err != nil {
+		// Report the caller's own cancellation/expiry in preference to
+		// the i/o error it surfaced as.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Errf(AsError(ctxErr).Code, "op %q: %v", op, ctxErr)
+		}
+		return err
+	}
+	return nil
+}
+
+// exchange writes one v2 frame and decodes the reply. Callers hold c.mu.
+func (c *Client) exchange(_ context.Context, frame requestFrame, op string, resp interface{}) error {
+	if err := WriteFrame(c.w, frame); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	var rf responseFrame
+	if err := ReadFrame(c.r, &rf); err != nil {
+		return err
+	}
+	if rf.V < 2 {
+		return Errf(CodeProtocol,
+			"op %q: server answered with the v1 protocol (upgrade the server or use a v1 Call)", op)
+	}
+	if !rf.OK {
+		code := rf.Code
+		if code == "" {
+			code = CodeExec
+		}
+		return &Error{Code: code, Message: rf.Error}
+	}
+	if resp != nil && len(rf.Body) > 0 {
+		if err := json.Unmarshal(rf.Body, resp); err != nil {
+			return Errf(CodeInternal, "op %q: decoding response: %v", op, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+type addReq struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+type addResp struct {
+	Sum int `json:"sum"`
+}
+
+func dialV2(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestV2TypedRoundTrip(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "math.add", func(_ context.Context, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+	var resp addResp
+	if err := c.CallV2(context.Background(), "math.add", addReq{A: 19, B: 23}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sum != 42 {
+		t.Fatalf("sum = %d", resp.Sum)
+	}
+}
+
+func TestV2StructuredErrorCode(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "fail.coded", func(context.Context, struct{}) (struct{}, error) {
+		return struct{}{}, Errf(CodeUnavailable, "deliberately unavailable")
+	})
+	Handle(srv, "fail.plain", func(context.Context, struct{}) (struct{}, error) {
+		return struct{}{}, context.Canceled // a non-*Error error
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+
+	err = c.CallV2(context.Background(), "fail.coded", nil, nil)
+	if ErrorCode(err) != CodeUnavailable || !strings.Contains(err.Error(), "deliberately") {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown op gets its own code.
+	err = c.CallV2(context.Background(), "no.such.op", nil, nil)
+	if ErrorCode(err) != CodeUnknownOp {
+		t.Fatalf("unknown op err = %v", err)
+	}
+}
+
+func TestV2BadRequestBody(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "math.add", func(_ context.Context, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+	// A request body of the wrong shape must fail decoding server-side.
+	err = c.CallV2(context.Background(), "math.add", map[string]string{"a": "NaN"}, nil)
+	if ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestV2OpsListBuiltin(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "x.one", func(context.Context, struct{}) (struct{}, error) { return struct{}{}, nil })
+	srv.Handle("y.two", func(Request) Response { return Response{OK: true} })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+	var ol OpsList
+	if err := c.CallV2(context.Background(), "ops.list", nil, &ol); err != nil {
+		t.Fatal(err)
+	}
+	// Both generations appear, sorted.
+	want := []string{"ops.list", "x.one", "y.two"}
+	if len(ol.Ops) != len(want) {
+		t.Fatalf("ops = %v", ol.Ops)
+	}
+	for i, op := range want {
+		if ol.Ops[i] != op {
+			t.Fatalf("ops = %v, want %v", ol.Ops, want)
+		}
+	}
+}
+
+// TestV2DeadlinePropagation: the client's remaining context budget
+// reaches the handler as a real context deadline.
+func TestV2DeadlinePropagation(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "deadline.check", func(ctx context.Context, _ struct{}) (map[string]bool, error) {
+		_, ok := ctx.Deadline()
+		return map[string]bool{"hasDeadline": ok}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+
+	var got map[string]bool
+	if err := c.CallV2(context.Background(), "deadline.check", nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["hasDeadline"] {
+		t.Fatal("deadline present without one being set")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.CallV2(ctx, "deadline.check", nil, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got["hasDeadline"] {
+		t.Fatal("deadline not propagated to handler")
+	}
+}
+
+// TestV2ExpiredContextClientSide: a dead context fails before any I/O.
+func TestV2ExpiredContextClientSide(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+	defer cancel()
+	if err := c.CallV2(ctx, "ops.list", nil, nil); ErrorCode(err) != CodeDeadline {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMixedGenerationsOneConnection: v1 and v2 frames interleave on a
+// single connection against a server registering both kinds of handler
+// under one op name.
+func TestMixedGenerationsOneConnection(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("echo", func(req Request) Response {
+		return Response{OK: true, Payload: req.Params["msg"]}
+	})
+	Handle(srv, "echo", func(_ context.Context, req map[string]string) (map[string]string, error) {
+		return map[string]string{"msg": req["msg"]}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dialV2(t, addr)
+	for i := 0; i < 5; i++ {
+		// v1 call...
+		got, err := c.Call("echo", map[string]string{"msg": "old"})
+		if err != nil || got != "old" {
+			t.Fatalf("v1 call = %q, %v", got, err)
+		}
+		// ...then a v2 call on the same connection.
+		var resp map[string]string
+		if err := c.CallV2(context.Background(), "echo", map[string]string{"msg": "new"}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp["msg"] != "new" {
+			t.Fatalf("v2 call = %v", resp)
+		}
+	}
+}
+
+// TestV2CancellationUnblocks: cancelling a deadline-less context
+// unblocks a call stuck on a slow handler, with the canceled code.
+func TestV2CancellationUnblocks(t *testing.T) {
+	srv := NewServer()
+	release := make(chan struct{})
+	Handle(srv, "slow.op", func(context.Context, struct{}) (struct{}, error) {
+		<-release
+		return struct{}{}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { close(release); srv.Close() })
+	c := dialV2(t, addr)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() { done <- c.CallV2(ctx, "slow.op", nil, nil) }()
+	select {
+	case err := <-done:
+		if ErrorCode(err) != CodeCanceled {
+			t.Fatalf("err = %v, want canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CallV2 did not unblock on cancellation")
+	}
+}
+
+// TestV2AgainstV1OnlyServer: a v2 call to a server that only speaks the
+// v1 protocol fails loudly with the protocol code instead of silently
+// mis-executing (an old server would ignore the typed body and run the
+// op with empty params).
+func TestV2AgainstV1OnlyServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// A pre-v2 server: decode as v1 Request, answer with a v1
+		// Response (no "v" field on the wire).
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			return
+		}
+		WriteFrame(conn, Response{OK: true, Payload: "unconstrained result"})
+	}()
+	c := dialV2(t, ln.Addr().String())
+	err = c.CallV2(context.Background(), "hawkeye.query", map[string]string{"constraint": "x"}, nil)
+	if ErrorCode(err) != CodeProtocol {
+		t.Fatalf("err = %v, want protocol_mismatch", err)
+	}
+}

@@ -1,0 +1,143 @@
+package gridmon
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Option configures a Grid under construction; pass options to New.
+type Option func(*config) error
+
+// config collects the construction-time knobs.
+type config struct {
+	hosts             []string
+	systems           map[System]bool
+	rgmaProducers     int
+	managerHost       string
+	clock             func() float64
+	advertiseInterval float64
+}
+
+func defaultConfig() *config {
+	return &config{
+		systems:           map[System]bool{MDS: true, RGMA: true, Hawkeye: true},
+		rgmaProducers:     3,
+		managerHost:       "manager",
+		advertiseInterval: 30,
+	}
+}
+
+// WithHosts names the monitored hosts. Every enabled system deploys one
+// information server per host (a GRIS, a ProducerServlet, a Hawkeye
+// Agent). Required: New fails without at least one host.
+func WithHosts(hosts ...string) Option {
+	return func(c *config) error {
+		seen := make(map[string]bool, len(hosts))
+		for _, h := range hosts {
+			if h == "" {
+				return fmt.Errorf("gridmon: empty host name")
+			}
+			if seen[h] {
+				return fmt.Errorf("gridmon: duplicate host %q", h)
+			}
+			seen[h] = true
+		}
+		c.hosts = append([]string(nil), hosts...)
+		return nil
+	}
+}
+
+// WithSystems selects which of the three systems to deploy (default:
+// all of MDS, R-GMA and Hawkeye).
+func WithSystems(systems ...System) Option {
+	return func(c *config) error {
+		if len(systems) == 0 {
+			return fmt.Errorf("gridmon: WithSystems needs at least one system")
+		}
+		enabled := make(map[System]bool, len(systems))
+		for _, s := range systems {
+			switch s {
+			case MDS, RGMA, Hawkeye:
+				enabled[s] = true
+			default:
+				return fmt.Errorf("gridmon: unknown system %q", s)
+			}
+		}
+		c.systems = enabled
+		return nil
+	}
+}
+
+// WithRGMAProducers sets how many monitoring producers each host's
+// ProducerServlet hosts (default 3).
+func WithRGMAProducers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("gridmon: WithRGMAProducers(%d): need at least one producer", n)
+		}
+		c.rgmaProducers = n
+		return nil
+	}
+}
+
+// WithManagerHost names the host running the Hawkeye Manager (default
+// "manager").
+func WithManagerHost(host string) Option {
+	return func(c *config) error {
+		if host == "" {
+			return fmt.Errorf("gridmon: empty manager host")
+		}
+		c.managerHost = host
+		return nil
+	}
+}
+
+// WithClock supplies the grid's notion of time, in seconds: every query
+// and advertisement is stamped with the clock's current value. The
+// default clock is pinned at zero, which keeps results deterministic
+// (construction primes all state at t=0). Pass a closure over your own
+// variable to step time manually, or use WithWallClock for live servers.
+func WithClock(now func() float64) Option {
+	return func(c *config) error {
+		if now == nil {
+			return fmt.Errorf("gridmon: nil clock")
+		}
+		c.clock = now
+		return nil
+	}
+}
+
+// WithWallClock makes the grid's clock run in real time, measured in
+// seconds since New returned.
+func WithWallClock() Option {
+	return func(c *config) error {
+		start := time.Now()
+		c.clock = func() float64 { return time.Since(start).Seconds() }
+		return nil
+	}
+}
+
+// WithAdvertiseInterval sets the Hawkeye agents' advertised update
+// interval in seconds (default 30, the paper's Hawkeye cadence).
+func WithAdvertiseInterval(seconds float64) Option {
+	return func(c *config) error {
+		if seconds <= 0 {
+			return fmt.Errorf("gridmon: advertise interval must be positive")
+		}
+		c.advertiseInterval = seconds
+		return nil
+	}
+}
+
+// enabledSystems returns the deployed systems in canonical order.
+func (c *config) enabledSystems() []System {
+	out := make([]System, 0, 3)
+	for _, s := range []System{core.SystemMDS, core.SystemRGMA, core.SystemHawkeye} {
+		if c.systems[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package gridmon
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/core"
+	"repro/internal/ldap"
+	"repro/internal/transport"
+)
+
+// Query is the one request shape of the v2 API: it selects a system and
+// a Table 1 role, and carries an expression in that system's native
+// query dialect. The same Query works against an in-process Grid and a
+// remote server reached with Dial.
+//
+// Expr is interpreted per system:
+//
+//	MDS      an RFC 1960 LDAP search filter, e.g. "(objectclass=MdsCpu)"
+//	R-GMA    a SQL SELECT for information/aggregate queries, e.g.
+//	         "SELECT host, value FROM siteinfo WHERE value >= 50";
+//	         a table name for directory lookups (default "siteinfo")
+//	R-GMA    (directory role) the table whose producers to resolve
+//	Hawkeye  a ClassAd constraint, e.g. "TARGET.CpuLoad > 50"
+//
+// An empty Expr asks for everything. Attrs projects the returned
+// records to the named fields (LDAP attributes, SQL columns, ClassAd
+// attributes); empty keeps all fields.
+type Query struct {
+	// System selects MDS, RGMA or Hawkeye.
+	System System `json:"system"`
+	// Role selects the Table 1 component answering the query; the zero
+	// value means RoleInformationServer.
+	Role Role `json:"role,omitempty"`
+	// Host targets one host's information server. Required for MDS and
+	// Hawkeye information-server queries; for R-GMA an empty Host routes
+	// through the mediating ConsumerServlet instead of one servlet.
+	Host string `json:"host,omitempty"`
+	// Expr is the query expression in the system's dialect (see above).
+	Expr string `json:"expr,omitempty"`
+	// Attrs optionally projects returned records to these fields.
+	Attrs []string `json:"attrs,omitempty"`
+}
+
+// Querier is the query surface shared by the in-process facade (Grid)
+// and the remote client (RemoteGrid, from Dial): one typed request in,
+// decoded records plus Work accounting out.
+type Querier interface {
+	Query(ctx context.Context, q Query) (*ResultSet, error)
+}
+
+var (
+	_ Querier = (*Grid)(nil)
+	_ Querier = (*RemoteGrid)(nil)
+)
+
+// ErrorCode classifies a query failure. The codes travel on the wire,
+// so a remote query fails with the same code as the equivalent
+// in-process one.
+type ErrorCode = transport.Code
+
+// The query failure codes (see internal/transport for the full set).
+const (
+	ErrBadRequest  = transport.CodeBadRequest
+	ErrUnknownOp   = transport.CodeUnknownOp
+	ErrParse       = transport.CodeParse
+	ErrExec        = transport.CodeExec
+	ErrUnavailable = transport.CodeUnavailable
+	ErrDeadline    = transport.CodeDeadline
+)
+
+// CodeOf extracts the structured code from a query error (ErrExec for
+// plain errors).
+func CodeOf(err error) ErrorCode { return transport.ErrorCode(err) }
+
+// Query answers q against the grid's own components at the clock's
+// current time. The returned ResultSet carries the decoded records, the
+// Work the serving component performed, and the elapsed wall time.
+// Failures carry structured codes (see CodeOf): ErrParse for a bad
+// Expr, ErrBadRequest for a bad target, ErrUnavailable for a system not
+// deployed here, ErrDeadline when ctx expires first.
+func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, transport.AsError(err)
+	}
+	rq, err := g.querier(q)
+	if err != nil {
+		return nil, err
+	}
+	records, work, err := rq.QueryRecords(g.clock())
+	if err != nil {
+		return nil, transport.AsError(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, transport.AsError(err)
+	}
+	role := q.Role
+	if role == "" {
+		role = RoleInformationServer
+	}
+	// MDS applies Attrs natively inside the LDAP query (so Work reflects
+	// the projected response); the other systems project here.
+	if q.System != MDS {
+		records = core.ProjectRecords(records, q.Attrs)
+	}
+	return &ResultSet{
+		System:  q.System,
+		Role:    role,
+		Host:    q.Host,
+		Records: records,
+		Work:    work,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// querier resolves q to the core.RecordQuerier binding that answers it.
+func (g *Grid) querier(q Query) (core.RecordQuerier, error) {
+	role := q.Role
+	if role == "" {
+		role = RoleInformationServer
+	}
+	switch q.System {
+	case MDS, RGMA, Hawkeye:
+	default:
+		return nil, transport.Errf(transport.CodeBadRequest,
+			"unknown system %q (want %q, %q or %q)", q.System, MDS, RGMA, Hawkeye)
+	}
+	if !g.Enabled(q.System) {
+		return nil, transport.Errf(transport.CodeUnavailable, "%s is not deployed in this grid", q.System)
+	}
+	switch q.System {
+	case MDS:
+		return g.mdsQuerier(role, q)
+	case RGMA:
+		return g.rgmaQuerier(role, q)
+	default:
+		return g.hawkeyeQuerier(role, q)
+	}
+}
+
+func (g *Grid) mdsQuerier(role Role, q Query) (core.RecordQuerier, error) {
+	var filter ldap.Filter
+	if q.Expr != "" {
+		var err error
+		filter, err = ldap.ParseFilter(q.Expr)
+		if err != nil {
+			return nil, transport.Errf(transport.CodeParse, "MDS filter: %v", err)
+		}
+	}
+	switch role {
+	case RoleInformationServer:
+		gris, err := g.gris(q.Host)
+		if err != nil {
+			return nil, err
+		}
+		return &core.GRISServer{GRIS: gris, Filter: filter, Attrs: q.Attrs}, nil
+	case RoleDirectoryServer:
+		return &core.GIISServer{GIIS: g.giis, AsDirectory: true, Filter: filter, Attrs: q.Attrs}, nil
+	case RoleAggregateServer:
+		return &core.GIISServer{GIIS: g.giis, Filter: filter, Attrs: q.Attrs}, nil
+	}
+	return nil, badRole(role)
+}
+
+func (g *Grid) gris(host string) (*GRIS, error) {
+	if host == "" {
+		return nil, transport.Errf(transport.CodeBadRequest,
+			"MDS information-server query needs a Host (one of %v)", g.cfg.hosts)
+	}
+	gris, ok := g.grises[host]
+	if !ok {
+		return nil, transport.Errf(transport.CodeBadRequest,
+			"unknown host %q (monitored hosts: %v)", host, g.cfg.hosts)
+	}
+	return gris, nil
+}
+
+func (g *Grid) rgmaQuerier(role Role, q Query) (core.RecordQuerier, error) {
+	switch role {
+	case RoleInformationServer:
+		if q.Host == "" {
+			return &core.ConsumerServer{Consumer: g.consumer, SQL: q.Expr}, nil
+		}
+		ps, ok := g.servlets[q.Host]
+		if !ok {
+			return nil, transport.Errf(transport.CodeBadRequest,
+				"unknown host %q (monitored hosts: %v)", q.Host, g.cfg.hosts)
+		}
+		return &core.ProducerServletServer{Servlet: ps, SQL: q.Expr}, nil
+	case RoleDirectoryServer:
+		return &core.RegistryServer{Registry: g.registry, Table: q.Expr}, nil
+	case RoleAggregateServer:
+		return &core.CompositeServer{Composite: g.composite, SQL: q.Expr}, nil
+	}
+	return nil, badRole(role)
+}
+
+func (g *Grid) hawkeyeQuerier(role Role, q Query) (core.RecordQuerier, error) {
+	var constraint classad.Expr
+	if q.Expr != "" {
+		var err error
+		constraint, err = classad.ParseExpr(q.Expr)
+		if err != nil {
+			return nil, transport.Errf(transport.CodeParse, "Hawkeye constraint: %v", err)
+		}
+	}
+	switch role {
+	case RoleInformationServer:
+		if q.Host == "" {
+			return nil, transport.Errf(transport.CodeBadRequest,
+				"Hawkeye information-server query needs a Host (one of %v)", g.cfg.hosts)
+		}
+		agent, ok := g.agents[q.Host]
+		if !ok {
+			return nil, transport.Errf(transport.CodeBadRequest,
+				"unknown host %q (monitored hosts: %v)", q.Host, g.cfg.hosts)
+		}
+		return &core.AgentServer{Agent: agent, Constraint: constraint}, nil
+	case RoleDirectoryServer:
+		return &core.ManagerServer{Manager: g.manager, AsDirectory: true, Constraint: constraint}, nil
+	case RoleAggregateServer:
+		return &core.ManagerServer{Manager: g.manager, Constraint: constraint}, nil
+	}
+	return nil, badRole(role)
+}
+
+func badRole(role Role) error {
+	return transport.Errf(transport.CodeBadRequest,
+		"unknown role %q (want %q, %q or %q)", role,
+		RoleInformationServer, RoleDirectoryServer, RoleAggregateServer)
+}

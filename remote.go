@@ -1,0 +1,70 @@
+package gridmon
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// RemoteGrid is a connection to a grid served over TCP (cmd/gridmon-live
+// or any transport.Server passed to Grid.Serve). It implements the same
+// Querier interface as the in-process Grid: the same Query returns the
+// same records and Work, with Elapsed measuring the full round trip.
+// It is safe for concurrent use; calls are serialized over the single
+// connection.
+type RemoteGrid struct {
+	client *transport.Client
+}
+
+// Dial connects to a grid server.
+func Dial(addr string) (*RemoteGrid, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteGrid{client: c}, nil
+}
+
+// Query answers q on the remote grid. The context deadline, when set,
+// is propagated to the server and bounds the socket I/O; failures carry
+// the same structured codes as in-process queries (see CodeOf).
+func (r *RemoteGrid) Query(ctx context.Context, q Query) (*ResultSet, error) {
+	start := time.Now()
+	var rs ResultSet
+	if err := r.client.CallV2(ctx, "grid.query", q, &rs); err != nil {
+		return nil, err
+	}
+	rs.Elapsed = time.Since(start)
+	return &rs, nil
+}
+
+// Hosts lists the remote grid's monitored hosts.
+func (r *RemoteGrid) Hosts(ctx context.Context) ([]string, error) {
+	var hl HostList
+	if err := r.client.CallV2(ctx, "grid.hosts", nil, &hl); err != nil {
+		return nil, err
+	}
+	return hl.Hosts, nil
+}
+
+// Systems lists the remote grid's deployed systems.
+func (r *RemoteGrid) Systems(ctx context.Context) ([]System, error) {
+	var sl SystemList
+	if err := r.client.CallV2(ctx, "grid.systems", nil, &sl); err != nil {
+		return nil, err
+	}
+	return sl.Systems, nil
+}
+
+// Ops lists every operation the remote server answers.
+func (r *RemoteGrid) Ops(ctx context.Context) ([]string, error) {
+	var ol transport.OpsList
+	if err := r.client.CallV2(ctx, "ops.list", nil, &ol); err != nil {
+		return nil, err
+	}
+	return ol.Ops, nil
+}
+
+// Close closes the connection.
+func (r *RemoteGrid) Close() error { return r.client.Close() }

@@ -1,0 +1,74 @@
+package gridmon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Record is one decoded result record in the shape shared by all three
+// systems: a key (an LDAP DN, a row key, a machine name) plus flat
+// string fields.
+type Record = core.Record
+
+// Work quantifies what the serving component did to answer a query, in
+// units common to all three systems (see internal/core).
+type Work = core.Work
+
+// ResultSet is a query's answer: decoded records, the Work the serving
+// component performed, and the elapsed wall time observed by the caller
+// (so a remote ResultSet's Elapsed includes the network round trip,
+// while Records and Work are byte-identical to the in-process answer).
+type ResultSet struct {
+	System  System        `json:"system"`
+	Role    Role          `json:"role"`
+	Host    string        `json:"host,omitempty"`
+	Records []Record      `json:"records"`
+	Work    Work          `json:"work"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Len returns the number of records.
+func (rs *ResultSet) Len() int { return len(rs.Records) }
+
+// Keys lists the record keys in result order.
+func (rs *ResultSet) Keys() []string {
+	out := make([]string, len(rs.Records))
+	for i, r := range rs.Records {
+		out[i] = r.Key
+	}
+	return out
+}
+
+// Field returns the named field of record i ("" when absent).
+func (rs *ResultSet) Field(i int, name string) string {
+	if i < 0 || i >= len(rs.Records) {
+		return ""
+	}
+	return rs.Records[i].Fields[name]
+}
+
+// String renders the result set as a compact text table: a summary line
+// with the component accounting, then one line per record with its
+// fields in sorted order.
+func (rs *ResultSet) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s: %d record(s), %d visited, %d bytes, %.3fs\n",
+		rs.System, rs.Role, len(rs.Records), rs.Work.RecordsVisited,
+		rs.Work.ResponseBytes, rs.Elapsed.Seconds())
+	for _, r := range rs.Records {
+		fmt.Fprintf(&sb, "  %s\n", r.Key)
+		names := make([]string, 0, len(r.Fields))
+		for name := range r.Fields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "    %s: %s\n", name, r.Fields[name])
+		}
+	}
+	return sb.String()
+}
