@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test bench
+.PHONY: all ci fmt vet build test race bench
 
 all: ci
 
 # ci is the gate GitHub Actions runs: formatting, static checks, the
-# tier-1 build/test pass, and a one-iteration benchmark smoke run.
-ci: fmt vet build test bench
+# tier-1 build/test pass, the race-detector pass, and a one-iteration
+# benchmark smoke run.
+ci: fmt vet build test race bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,6 +23,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race runs the full test suite under the race detector — the gate for
+# the concurrent surfaces: streams, the transport, the Grid facade.
+race:
+	$(GO) test -race ./...
 
 # bench runs every benchmark exactly once — a smoke pass proving the
 # harness works, not a measurement.

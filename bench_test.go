@@ -19,7 +19,11 @@ package gridmon
 //	                 in internal/core)
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/classad"
@@ -336,6 +340,76 @@ func BenchmarkExt_Hierarchy(b *testing.B) {
 				pt = experiments.RunPoint(c.build, 200, benchParams())
 			}
 			reportPoint(b, pt)
+		})
+	}
+}
+
+// BenchmarkSubscribeFanout measures the push path: one monitoring round
+// (Grid.Advance) fanning R-GMA sensor rows out to N concurrent
+// subscribers, each draining its own bounded stream. The per-iteration
+// cost is one full sensor regeneration plus N continuous-query
+// evaluations and deliveries; events-delivered and events-dropped are
+// reported so the BENCH trajectory records both throughput and
+// backpressure behavior.
+func BenchmarkSubscribeFanout(b *testing.B) {
+	for _, nSubs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			var now float64
+			grid, err := New(
+				WithHosts("lucky3", "lucky4", "lucky7"),
+				WithSystems(RGMA),
+				WithClock(func() float64 { return now }),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var delivered, dropped int64
+			var wg sync.WaitGroup
+			streams := make([]*Stream, 0, nSubs)
+			for i := 0; i < nSubs; i++ {
+				st, err := grid.Subscribe(ctx, Subscription{
+					System: RGMA,
+					Expr:   "SELECT * FROM siteinfo WHERE value >= 50",
+					Buffer: 1024,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				streams = append(streams, st)
+				wg.Add(1)
+				go func(st *Stream) {
+					defer wg.Done()
+					n := int64(0)
+					for {
+						ev, err := st.Next(ctx)
+						if err != nil {
+							if errors.Is(err, ErrLagged) {
+								continue
+							}
+							atomic.AddInt64(&delivered, n)
+							return
+						}
+						n += int64(len(ev.Records))
+					}
+				}(st)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now = float64(i + 1)
+				if err := grid.Advance(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+			for _, st := range streams {
+				dropped += int64(st.Dropped())
+			}
+			b.ReportMetric(float64(atomic.LoadInt64(&delivered))/float64(b.N), "records-delivered/op")
+			b.ReportMetric(float64(dropped)/float64(b.N), "events-dropped/op")
 		})
 	}
 }

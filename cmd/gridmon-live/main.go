@@ -6,20 +6,26 @@
 //
 // Usage:
 //
-//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7]
+//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7] [-advance 5s]
 //
 // Operations served (ops.list reports the full namespace):
 //
-//	grid.query     typed v2 query (body: gridmon.Query) — what gridmon.Dial speaks
-//	grid.hosts     typed v2: list monitored hosts
-//	grid.systems   typed v2: list deployed systems
-//	ops.list       typed v2: list every registered op
-//	mds.query      params: filter (RFC 1960), attrs (comma-separated)
-//	mds.hosts      list registered hosts
-//	rgma.query     params: sql (SELECT over table "siteinfo")
-//	rgma.tables    list advertised tables
-//	hawkeye.query  params: constraint (ClassAd expression)
-//	hawkeye.pool   list pool members
+//	grid.query      typed v2 query (body: gridmon.Query) — what gridmon.Dial speaks
+//	grid.subscribe  typed v2 event stream (body: gridmon.Subscription)
+//	grid.hosts      typed v2: list monitored hosts
+//	grid.systems    typed v2: list deployed systems
+//	ops.list        typed v2: list every registered op
+//	mds.query       params: filter (RFC 1960), attrs (comma-separated)
+//	mds.hosts       list registered hosts
+//	rgma.query      params: sql (SELECT over table "siteinfo")
+//	rgma.tables     list advertised tables
+//	hawkeye.query   params: constraint (ClassAd expression)
+//	hawkeye.pool    list pool members
+//
+// A background loop calls Grid.Advance every -advance interval: R-GMA
+// sensors regenerate (feeding continuous queries), Hawkeye agents
+// advertise (running trigger matchmaking), and MDS watchers poll-and-
+// diff — so grid.subscribe streams move in real time.
 //
 // The param-based ops answer both v1 frames (the legacy string-payload
 // protocol) and typed v2 frames, so old clients keep working.
@@ -42,7 +48,11 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
 	hostList := flag.String("hosts", "lucky3,lucky4,lucky5,lucky6,lucky7", "monitored host names")
 	producers := flag.Int("producers", 3, "R-GMA producers per host")
+	advance := flag.Duration("advance", 5*time.Second, "monitoring-round interval (drives subscriptions)")
 	flag.Parse()
+	if *advance <= 0 {
+		log.Fatalf("-advance %v: the monitoring-round interval must be positive", *advance)
+	}
 	hosts := strings.Split(*hostList, ",")
 
 	grid, err := gridmon.New(
@@ -54,12 +64,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Keep the Hawkeye pool advertising in real time.
+	// Run monitoring rounds in real time: sensors regenerate, agents
+	// advertise, watchers poll — every push path any subscriber relies on.
 	go func() {
 		for {
-			time.Sleep(5 * time.Second)
-			if err := grid.Advertise(grid.Now()); err != nil {
-				log.Printf("advertise: %v", err)
+			time.Sleep(*advance)
+			if err := grid.Advance(grid.Now()); err != nil {
+				log.Printf("advance: %v", err)
 			}
 		}
 	}()

@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	gridmon-query [-addr 127.0.0.1:7946] [-timeout 10s] <op> [key=value ...]
+//	gridmon-query [-addr 127.0.0.1:7946] [-timeout 10s] [-o table|json]
+//	              [-watch] [-interval 5s] <op> [key=value ...]
 //
 // Examples:
 //
 //	gridmon-query ops.list
 //	gridmon-query grid.hosts
 //	gridmon-query grid.query system=MDS role='Aggregate Information Server' 'expr=(objectclass=MdsCpu)'
-//	gridmon-query grid.query system=Hawkeye role='Aggregate Information Server' 'expr=TARGET.CpuLoad > 50'
+//	gridmon-query -o json grid.query system=Hawkeye role='Aggregate Information Server' 'expr=TARGET.CpuLoad > 50'
+//	gridmon-query -watch grid.query system=RGMA 'expr=SELECT * FROM siteinfo WHERE value >= 50'
+//	gridmon-query -watch -interval 10s -o json grid.query system=MDS 'expr=(objectclass=MdsCpu)'
 //	gridmon-query mds.hosts
 //	gridmon-query mds.query 'filter=(objectclass=MdsCpu)' attrs=Mds-Cpu-Free-1minX100
 //	gridmon-query rgma.query "sql=SELECT host, value FROM siteinfo WHERE value >= 50"
@@ -20,7 +23,14 @@
 //
 // The grid.query op takes params system, role, host, expr and attrs
 // (comma-separated) and renders the typed ResultSet; role defaults to
-// the information server.
+// the information server. -o json renders the typed ops' responses as
+// JSON instead of text tables.
+//
+// -watch turns a grid.query into a grid.subscribe: the same params
+// become a gridmon.Subscription (with -interval as the MDS watcher's
+// poll cadence) and events print as they stream, one block (or one JSON
+// line) per event, until interrupted. The server's -advance loop paces
+// delivery.
 //
 // Exit status: 0 on success; on a server error, a status derived from
 // the structured code — 2 for bad_request/parse_error/unknown_op (an
@@ -30,9 +40,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -44,10 +57,18 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7946", "gridmon-live address")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline (0 = none)")
+	output := flag.String("o", "table", "output format for typed ops: table or json")
+	watch := flag.Bool("watch", false, "subscribe to grid.query params and stream events")
+	interval := flag.Duration("interval", 5*time.Second, "watch: MDS poll cadence in grid-clock seconds")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
-		fmt.Fprintln(os.Stderr, "usage: gridmon-query [-addr host:port] [-timeout 10s] <op> [key=value ...]")
+		fmt.Fprintln(os.Stderr,
+			"usage: gridmon-query [-addr host:port] [-timeout 10s] [-o table|json] [-watch] [-interval 5s] <op> [key=value ...]")
+		os.Exit(2)
+	}
+	if *output != "table" && *output != "json" {
+		fmt.Fprintf(os.Stderr, "bad -o %q (want table or json)\n", *output)
 		os.Exit(2)
 	}
 	op := args[0]
@@ -60,6 +81,15 @@ func main() {
 		}
 		params[kv[:eq]] = kv[eq+1:]
 	}
+
+	if *watch {
+		if op != "grid.query" {
+			fmt.Fprintf(os.Stderr, "-watch applies to grid.query, not %q\n", op)
+			os.Exit(2)
+		}
+		os.Exit(watchLoop(*addr, params, *interval, *timeout, *output))
+	}
+
 	client, err := transport.Dial(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -74,7 +104,7 @@ func main() {
 		defer cancel()
 	}
 
-	payload, err := call(ctx, client, op, params)
+	payload, err := call(ctx, client, op, params, *output)
 	if err != nil {
 		e := transport.AsError(err)
 		fmt.Fprintf(os.Stderr, "error [%s]: %s\n", e.Code, e.Message)
@@ -89,15 +119,128 @@ func main() {
 	}
 }
 
+// subscription builds the Subscription the grid.query params describe.
+func subscription(params map[string]string, interval time.Duration) gridmon.Subscription {
+	sub := gridmon.Subscription{
+		System:    gridmon.System(params["system"]),
+		Role:      gridmon.Role(params["role"]),
+		Host:      params["host"],
+		Expr:      params["expr"],
+		PollEvery: interval.Seconds(),
+	}
+	if a := params["attrs"]; a != "" {
+		sub.Attrs = strings.Split(a, ",")
+	}
+	return sub
+}
+
+// watchLoop subscribes and prints events until interrupted, returning
+// the process exit status. The -timeout bounds the dial and subscribe
+// handshake (the stream itself is unbounded: it runs until
+// interrupted).
+func watchLoop(addr string, params map[string]string, interval, timeout time.Duration, output string) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Bound the dial + subscribe handshake without bounding the stream:
+	// the subscription lives on the interrupt context, and a handshake
+	// that outlasts -timeout is abandoned (the process exits right
+	// after, so nothing leaks).
+	type opened struct {
+		remote *gridmon.RemoteGrid
+		st     *gridmon.Stream
+		err    error
+	}
+	handshake := make(chan opened, 1)
+	go func() {
+		remote, err := gridmon.Dial(addr)
+		if err != nil {
+			handshake <- opened{err: err}
+			return
+		}
+		st, err := remote.Subscribe(ctx, subscription(params, interval))
+		handshake <- opened{remote: remote, st: st, err: err}
+	}()
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timeoutC = time.After(timeout)
+	}
+	var st *gridmon.Stream
+	select {
+	case h := <-handshake:
+		if h.err != nil {
+			e := transport.AsError(h.err)
+			fmt.Fprintf(os.Stderr, "error [%s]: %s\n", e.Code, e.Message)
+			return exitStatus(e.Code)
+		}
+		st = h.st
+		defer h.remote.Close()
+	case <-timeoutC:
+		fmt.Fprintf(os.Stderr, "error [%s]: subscribe: no answer within %v\n",
+			transport.CodeDeadline, timeout)
+		return exitStatus(transport.CodeDeadline)
+	}
+	for {
+		ev, err := st.Next(ctx)
+		if err != nil {
+			// A lag report is not the end of the stream: note the loss
+			// (visible as a gap in seq) and resume delivery.
+			var lag *gridmon.LagError
+			if errors.As(err, &lag) {
+				fmt.Fprintf(os.Stderr, "lagged: %d event(s) dropped\n", lag.Dropped)
+				continue
+			}
+			if ctx.Err() != nil {
+				return 0 // interrupted: a clean watch shutdown
+			}
+			e := transport.AsError(err)
+			fmt.Fprintf(os.Stderr, "error [%s]: %s\n", e.Code, e.Message)
+			return exitStatus(e.Code)
+		}
+		printEvent(ev, output)
+	}
+}
+
+// printEvent renders one event: a JSON line, or a header plus one line
+// per record.
+func printEvent(ev gridmon.Event, output string) {
+	if output == "json" {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("seq=%d t=%.0fs %s: %d record(s)\n", ev.Seq, ev.Time, ev.Kind, len(ev.Records))
+	for _, r := range ev.Records {
+		fmt.Printf("  %s", r.Key)
+		for _, name := range r.SortedFieldNames() {
+			fmt.Printf(" %s=%s", name, r.Fields[name])
+		}
+		fmt.Println()
+	}
+}
+
 // call invokes one op over the typed v2 protocol. The typed ops
-// (ops.list, grid.*) get their own request/response shapes; everything
-// else is a param-based op.
-func call(ctx context.Context, client *transport.Client, op string, params map[string]string) (string, error) {
+// (ops.list, grid.*) get their own request/response shapes — rendered as
+// text or, with -o json, as JSON; everything else is a param-based op.
+func call(ctx context.Context, client *transport.Client, op string, params map[string]string, output string) (string, error) {
+	asJSON := func(v interface{}) (string, error) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
 	switch op {
 	case "ops.list":
 		var ol transport.OpsList
 		if err := client.CallV2(ctx, op, nil, &ol); err != nil {
 			return "", err
+		}
+		if output == "json" {
+			return asJSON(ol)
 		}
 		return strings.Join(ol.Ops, "\n"), nil
 	case "grid.hosts":
@@ -105,11 +248,17 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		if err := client.CallV2(ctx, op, nil, &hl); err != nil {
 			return "", err
 		}
+		if output == "json" {
+			return asJSON(hl)
+		}
 		return strings.Join(hl.Hosts, "\n"), nil
 	case "grid.systems":
 		var sl gridmon.SystemList
 		if err := client.CallV2(ctx, op, nil, &sl); err != nil {
 			return "", err
+		}
+		if output == "json" {
+			return asJSON(sl)
 		}
 		parts := make([]string, len(sl.Systems))
 		for i, s := range sl.Systems {
@@ -129,6 +278,9 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		var rs gridmon.ResultSet
 		if err := client.CallV2(ctx, op, q, &rs); err != nil {
 			return "", err
+		}
+		if output == "json" {
+			return asJSON(rs)
 		}
 		return rs.String(), nil
 	}

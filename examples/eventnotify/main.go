@@ -1,14 +1,17 @@
 // Command eventnotify demonstrates R-GMA's main use case (the paper,
-// Section 2.2): event notification. A consumer subscribes to a load-data
-// stream by polling the mediated SQL view of distributed producers and
-// raises a notification whenever a host's load crosses a threshold — the
-// "Producer/Consumer pairing to allow notification when the load reaches
-// some maximum" from the paper. The grid's clock is a local variable
-// stepped by the polling loop (see gridmon.WithClock).
+// Section 2.2): event notification. A consumer subscribes "to a flow of
+// data with specific properties directly from a data source" — here a
+// continuous query over the load metric with a threshold predicate, so
+// only the interesting rows are ever delivered. This is the push half of
+// the v2 API: the same Subscription works in-process (as here) and over
+// TCP via gridmon.Dial against a gridmon-live server. The grid's clock
+// is a local variable stepped by the Advance loop (see
+// gridmon.WithClock).
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"strconv"
@@ -19,8 +22,9 @@ import (
 const loadThreshold = 85.0
 
 func main() {
-	ctx := context.Background()
-	var now float64 // the grid's clock, stepped per polling round
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var now float64 // the grid's clock, stepped per monitoring round
 	grid, err := gridmon.New(
 		gridmon.WithHosts("lucky3", "lucky4", "lucky5", "lucky6", "lucky7"),
 		gridmon.WithSystems(gridmon.RGMA),
@@ -48,36 +52,46 @@ func main() {
 		fmt.Printf("  %s (%d producers)\n", table, dir.Len())
 	}
 
-	// Poll the stream at five-second intervals (the paper's Ganglia
-	// cadence) and fire notifications on threshold crossings. Alert state
-	// is tracked per host so each crossing notifies once.
-	fmt.Printf("\nWatching for load > %.0f over 10 polling rounds:\n", loadThreshold)
-	alerted := make(map[string]bool)
-	notifications := 0
+	// The continuous query: the WHERE clause is evaluated against every
+	// row each producer publishes, and only crossings of the threshold
+	// reach this consumer — no polling, no client-side filtering.
+	st, err := grid.Subscribe(ctx, gridmon.Subscription{
+		System: gridmon.RGMA,
+		Expr: fmt.Sprintf(
+			"SELECT * FROM siteinfo WHERE metric = 'metric-00' AND value > %v", loadThreshold),
+		Attrs: []string{"host", "value"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ten monitoring rounds at five-second intervals (the paper's
+	// Ganglia cadence): each Advance regenerates every sensor, and the
+	// producer hubs stream matching rows into the subscription.
+	fmt.Printf("\nSubscribed to load > %.0f; running 10 monitoring rounds:\n", loadThreshold)
 	for tick := 1; tick <= 10; tick++ {
 		now = float64(tick * 5)
-		rs, err := grid.Query(ctx, gridmon.Query{
-			System: gridmon.RGMA,
-			Expr:   "SELECT host, value FROM siteinfo WHERE metric = 'metric-00'",
-		})
-		if err != nil {
+		if err := grid.Advance(now); err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range rs.Records {
-			host := r.Fields["host"]
+	}
+	cancel() // detach the subscription; buffered events still deliver
+
+	notifications := 0
+	for {
+		ev, err := st.Next(context.Background())
+		if errors.Is(err, gridmon.ErrLagged) {
+			continue // a lag report, not the end: keep draining
+		}
+		if err != nil {
+			break // context.Canceled after the drain: the stream is over
+		}
+		for _, r := range ev.Records {
 			load, _ := strconv.ParseFloat(r.Fields["value"], 64)
-			switch {
-			case load > loadThreshold && !alerted[host]:
-				alerted[host] = true
-				notifications++
-				fmt.Printf("  t=%3.0fs NOTIFY: %-18s load %.1f exceeds %.0f\n",
-					now, host, load, loadThreshold)
-			case load <= loadThreshold && alerted[host]:
-				alerted[host] = false
-				fmt.Printf("  t=%3.0fs clear:  %-18s load %.1f back under threshold\n",
-					now, host, load)
-			}
+			notifications++
+			fmt.Printf("  t=%3.0fs NOTIFY (seq %d): %-8s load %.1f exceeds %.0f\n",
+				ev.Time, ev.Seq, r.Fields["host"], load, loadThreshold)
 		}
 	}
-	fmt.Printf("\n%d notification(s) delivered.\n", notifications)
+	fmt.Printf("\n%d notification(s) delivered, %d dropped.\n", notifications, st.Dropped())
 }

@@ -1,19 +1,21 @@
 // Command triggers reproduces the Hawkeye scenario the paper opens with
 // (Section 2.3): a Trigger ClassAd specifying "if any machine advertises
 // a CPU load greater than 50, kill that machine's Netscape process". It
-// deploys a Hawkeye-only grid, submits the trigger to the Manager (a
-// system-specific feature reached through the facade's HawkeyePool
-// escape hatch), streams Startd ClassAds with Grid.Advertise, and shows
-// the final pool status through the unified query API.
+// deploys a Hawkeye-only grid and subscribes to the constraint through
+// the unified Subscribe API — the Manager installs it as a Trigger
+// ClassAd and every advertisement that matches streams back as a typed
+// Trigger event, against the current pool at subscribe time and then on
+// every advertise round.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"strconv"
 
 	gridmon "repro"
-	"repro/internal/classad"
 )
 
 func main() {
@@ -31,34 +33,49 @@ func main() {
 	mgr, agents := grid.HawkeyePool()
 	fmt.Printf("Pool %q with %d monitoring agents.\n", "lucky3", len(agents))
 
-	// The paper's trigger: CPU load over 50 -> kill Netscape there.
-	triggerAd := classad.NewAd()
-	triggerAd.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad > 50"))
-	triggerAd.SetString("JobCommand", "killall netscape")
-
-	killed := 0
-	trigger := &gridmon.Trigger{
-		Name: "kill-netscape-on-load",
-		Ad:   triggerAd,
-		Fire: func(machine string, ad *classad.Ad) {
-			load, _ := ad.Eval("CpuLoad").RealVal()
-			killed++
-			fmt.Printf("  TRIGGER: %s CpuLoad=%.1f -> running %q\n",
-				machine, load, "killall netscape")
-		},
+	// The paper's trigger, as a subscription: the Expr becomes the
+	// Trigger ClassAd's Requirements; matchmaking runs against the pool
+	// immediately and then on every incoming Startd ClassAd.
+	st, err := grid.Subscribe(ctx, gridmon.Subscription{
+		System: gridmon.Hawkeye,
+		Expr:   "TARGET.CpuLoad > 50",
+		Attrs:  []string{"Name", "CpuLoad"},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fired := mgr.SubmitTrigger(0, trigger)
-	fmt.Printf("Trigger submitted; matched %d machine(s) already in the pool.\n\n", fired)
+	fmt.Println("Trigger submitted: CpuLoad > 50 -> killall netscape")
 
-	// Agents advertise at 30-second intervals; matchmaking runs on every
-	// incoming Startd ClassAd.
-	fmt.Println("Advertise stream (5 rounds at 30s intervals):")
+	// Agents advertise at 30-second intervals; each Advance is one
+	// round, and matchmaking runs on every incoming Startd ClassAd.
+	fmt.Println("\nAdvertise stream (5 rounds at 30s intervals):")
+	killed, fired := 0, 0
 	for round := 1; round <= 5; round++ {
 		now = float64(round * 30)
-		if err := grid.Advertise(now); err != nil {
+		if err := grid.Advance(now); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  t=%3.0fs pool=%d machines\n", now, mgr.NumMachines(now))
+	}
+
+	// The trigger events, in firing order: subscribe-time matches at
+	// t=0, then one per matching advertisement.
+	st.Close()
+	for {
+		ev, err := st.Next(ctx)
+		if errors.Is(err, gridmon.ErrLagged) {
+			continue // a lag report, not the end: keep draining
+		}
+		if err != nil {
+			break // drained: the stream is over
+		}
+		fired++
+		for _, r := range ev.Records {
+			load, _ := strconv.ParseFloat(r.Fields["CpuLoad"], 64)
+			killed++
+			fmt.Printf("  t=%3.0fs TRIGGER (seq %d): %s CpuLoad=%.1f -> running %q\n",
+				ev.Time, ev.Seq, r.Key, load, "killall netscape")
+		}
 	}
 
 	// A status query through the unified API: the Manager is Hawkeye's
@@ -77,5 +94,6 @@ func main() {
 	for _, r := range rs.Records {
 		fmt.Printf("  %-8s CpuLoad=%s\n", r.Key, r.Fields["CpuLoad"])
 	}
-	fmt.Printf("\nNetscape killed %d time(s). The administrator sleeps well.\n", killed)
+	fmt.Printf("\nNetscape killed %d time(s) across %d trigger event(s). The administrator sleeps well.\n",
+		killed, fired)
 }

@@ -3,6 +3,7 @@ package gridmon
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hawkeye"
@@ -22,6 +23,13 @@ import (
 type Grid struct {
 	cfg   *config
 	clock func() float64
+
+	// mu serializes grid-state access across Query, Subscribe, Advance
+	// and Advertise, so a live server can pump sensors from a background
+	// goroutine while serving queries and streams.
+	mu       sync.Mutex
+	subID    uint64        // allocator for subscription ids
+	watchers []*mdsWatcher // active MDS poll-and-diff watchers
 
 	// MDS: one GIIS aggregating a warm GRIS per host.
 	giis   *mds.GIIS
@@ -202,8 +210,16 @@ func copyMap[V any](m map[string]V) map[string]V {
 
 // Advertise refreshes the Hawkeye pool at time now: every agent collects
 // a fresh Startd ad and sends it to the Manager, as the live server's
-// advertising loop does. It is a no-op when Hawkeye is not deployed.
+// advertising loop does. Trigger matchmaking runs on every incoming ad,
+// so active Hawkeye subscriptions receive Trigger events. It is a no-op
+// when Hawkeye is not deployed.
 func (g *Grid) Advertise(now float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.advertiseLocked(now)
+}
+
+func (g *Grid) advertiseLocked(now float64) error {
 	if g.manager == nil {
 		return nil
 	}
@@ -214,6 +230,35 @@ func (g *Grid) Advertise(now float64) error {
 		}
 	}
 	return nil
+}
+
+// Advance runs one monitoring round at time now, the pump that drives
+// every push path (live servers call it from a background loop; tests
+// and simulations step it explicitly):
+//
+//   - MDS: every active poll-and-diff watcher whose interval elapsed
+//     re-queries its GRIS/GIIS and emits Put/Delete events for the
+//     differences.
+//   - R-GMA: every producer's sensor regenerates its rows, streaming
+//     them through the producer hub to continuous queries (Put events).
+//   - Hawkeye: every agent advertises a fresh Startd ad; Manager
+//     matchmaking fires matching triggers (Trigger events).
+//
+// Events are stamped with the grid clock, so configure the clock (see
+// WithClock) to track the times passed here. Advance is safe for
+// concurrent use with Query and Subscribe.
+func (g *Grid) Advance(now float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pollWatchersLocked(now)
+	if g.servlets != nil {
+		for _, h := range g.cfg.hosts {
+			for _, p := range g.servlets[h].Producers() {
+				p.Rows(now)
+			}
+		}
+	}
+	return g.advertiseLocked(now)
 }
 
 // InformationServer returns sys's Table 1 Information Server binding for
@@ -246,12 +291,23 @@ func (g *Grid) AggregateServer(sys System) (core.AggregateInformationServer, err
 	return rq.(core.AggregateInformationServer), nil
 }
 
+// TransportServer is the wire server a grid serves itself on (see
+// Serve). The alias makes hosting possible outside this module, where
+// internal/transport is unimportable: NewTransportServer, Listen,
+// Close.
+type TransportServer = transport.Server
+
+// NewTransportServer returns an empty transport server (only the
+// built-in ops.list op registered); pass it to Serve and Listen it.
+func NewTransportServer() *TransportServer { return transport.NewServer() }
+
 // Serve registers the grid's full operation namespace on a transport
 // server: the typed v2 ops
 //
-//	grid.query    body: Query            -> ResultSet
-//	grid.hosts    ->  {"hosts": [...]}
-//	grid.systems  ->  {"systems": [...]}
+//	grid.query      body: Query            -> ResultSet
+//	grid.subscribe  body: Subscription     -> event stream (see Subscribe)
+//	grid.hosts      ->  {"hosts": [...]}
+//	grid.systems    ->  {"systems": [...]}
 //
 // plus the six legacy param-based ops (mds.query, mds.hosts, rgma.query,
 // rgma.tables, hawkeye.query, hawkeye.pool) in both protocol
@@ -261,6 +317,7 @@ func (g *Grid) Serve(srv *transport.Server) {
 	transport.Handle(srv, "grid.query", func(ctx context.Context, q Query) (*ResultSet, error) {
 		return g.Query(ctx, q)
 	})
+	g.serveSubscribe(srv)
 	transport.Handle(srv, "grid.hosts", func(context.Context, struct{}) (HostList, error) {
 		return HostList{Hosts: g.Hosts()}, nil
 	})
@@ -273,6 +330,13 @@ func (g *Grid) Serve(srv *transport.Server) {
 		Consumer: g.consumer,
 		Manager:  g.manager,
 		Now:      g.clock,
+		// The legacy ops touch the same components the Advance pump
+		// mutates; serialize them through the facade's mutex.
+		Serialize: func(run func()) {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			run()
+		},
 	})
 }
 

@@ -35,10 +35,24 @@
 // g.AggregateServer, and each system's concrete components through
 // g.MDS, g.RGMA and g.HawkeyePool.
 //
-// The same interface works over the network: Grid.Serve registers the
-// typed grid.query op (plus the legacy v1 ops) on a transport server,
-// and Dial returns a remote client implementing the same Querier
-// interface, so in-process and live-TCP modes are interchangeable.
+// The push half mirrors the pull half: one Subscription shape opens a
+// typed event stream against any system — R-GMA continuous queries,
+// Hawkeye trigger matchmaking, an MDS poll-and-diff watcher — with
+// bounded-buffer slow-consumer semantics (see ErrLagged):
+//
+//	st, err := g.Subscribe(ctx, gridmon.Subscription{
+//		System: gridmon.Hawkeye,
+//		Expr:   "TARGET.CpuLoad > 50",
+//	})
+//	ev, err := st.Next(ctx) // Event{Seq, Time, Kind, Records, Work}
+//
+// Grid.Advance runs the monitoring rounds that feed the streams.
+//
+// The same interfaces work over the network: Grid.Serve registers the
+// typed grid.query and grid.subscribe ops (plus the legacy v1 ops) on a
+// transport server, and Dial returns a remote client implementing the
+// same Querier and Subscriber interfaces, so in-process and live-TCP
+// modes are interchangeable — down to identical event sequences.
 //
 // The package has two modes:
 //

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,17 @@ import (
 type Record struct {
 	Key    string            `json:"key"`
 	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// SortedFieldNames lists the record's field names in sorted order — the
+// canonical rendering order shared by every place records print.
+func (r Record) SortedFieldNames() []string {
+	names := make([]string, 0, len(r.Fields))
+	for name := range r.Fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Project returns a copy of r keeping only the named fields (nil or empty
@@ -51,10 +63,13 @@ func ProjectRecords(recs []Record, attrs []string) []Record {
 
 // RecordQuerier is the record-returning face of a Table 1 component
 // binding: one standard query decoded into uniform records, with the
-// Work it cost. Every adapter in this package implements it.
+// Work it cost. Every adapter in this package implements it. The context
+// is honored during execution: every adapter checks it before starting,
+// and the fan-out adapters (GIIS aggregate, mediated consumer) check it
+// again between sub-queries, so an abandoned query stops mid-flight.
 type RecordQuerier interface {
 	Component
-	QueryRecords(now float64) ([]Record, Work, error)
+	QueryRecords(ctx context.Context, now float64) ([]Record, Work, error)
 }
 
 // --- decoders: each system's native result shape into []Record ---
@@ -88,6 +103,24 @@ func RGMARecords(res *relational.Result) []Record {
 			}
 		}
 		out[i] = Record{Key: fmt.Sprintf("row-%04d", i), Fields: fields}
+	}
+	return out
+}
+
+// RowRecords decodes raw published rows (the R-GMA push path, where no
+// relational.Result exists) into records keyed by producer and position,
+// so a continuous query's deliveries identify which producer streamed
+// each row.
+func RowRecords(producerID string, cols []relational.Column, rows [][]relational.Value) []Record {
+	out := make([]Record, len(rows))
+	for i, row := range rows {
+		fields := make(map[string]string, len(cols))
+		for c, col := range cols {
+			if c < len(row) {
+				fields[col.Name] = plainValue(row[c])
+			}
+		}
+		out[i] = Record{Key: fmt.Sprintf("%s/row-%04d", producerID, i), Fields: fields}
 	}
 	return out
 }
@@ -152,32 +185,42 @@ func HostRecords(hosts []string) []Record {
 // --- record-returning queries on the adapters ---
 
 // QueryRecords answers the configured GRIS query with decoded entries.
-func (s *GRISServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *GRISServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	entries, st := s.GRIS.Query(now, s.Filter, s.Attrs)
 	return MDSRecords(entries), MDSWork(st), nil
 }
 
-// QueryRecords answers the configured GIIS query with decoded entries.
-func (s *GIISServer) QueryRecords(now float64) ([]Record, Work, error) {
-	entries, st, err := s.GIIS.Query(now, s.Filter, s.Attrs)
+// QueryRecords answers the configured GIIS query with decoded entries,
+// honoring ctx between per-source cache refreshes.
+func (s *GIISServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	entries, st, err := s.GIIS.QueryCtx(ctx, now, s.Filter, s.Attrs)
 	return MDSRecords(entries), MDSWork(st), err
 }
 
 // QueryRecords answers the configured SQL query with decoded rows.
-func (s *ProducerServletServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *ProducerServletServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	res, st, err := s.Servlet.Query(now, s.sql())
 	return RGMARecords(res), RGMAWork(st), err
 }
 
 // QueryRecords answers the configured SQL query through the mediator
-// with decoded rows.
-func (s *ConsumerServer) QueryRecords(now float64) ([]Record, Work, error) {
-	res, st, err := s.Consumer.Query(now, s.sql())
+// with decoded rows, honoring ctx between producer-servlet fan-outs.
+func (s *ConsumerServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	res, st, err := s.Consumer.QueryCtx(ctx, now, s.sql())
 	return RGMARecords(res), RGMAWork(st), err
 }
 
 // QueryRecords resolves the configured table's producers as records.
-func (s *RegistryServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *RegistryServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	table := s.Table
 	if table == "" {
 		table = "siteinfo"
@@ -188,7 +231,10 @@ func (s *RegistryServer) QueryRecords(now float64) ([]Record, Work, error) {
 
 // QueryRecords answers the configured Agent query with the decoded
 // Startd ad (zero records when the constraint rejects it).
-func (s *AgentServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *AgentServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	ad, st := s.Agent.Query(now, s.Constraint)
 	if ad == nil {
 		return nil, HawkeyeWork(st), nil
@@ -198,14 +244,20 @@ func (s *AgentServer) QueryRecords(now float64) ([]Record, Work, error) {
 
 // QueryRecords scans the pool with the configured constraint, returning
 // the matching ads as records.
-func (s *ManagerServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *ManagerServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	ads, st := s.Manager.Query(now, s.Constraint)
 	return HawkeyeRecords(ads), HawkeyeWork(st), nil
 }
 
 // QueryRecords answers the configured SQL query against the composite
 // producer's aggregated table.
-func (s *CompositeServer) QueryRecords(now float64) ([]Record, Work, error) {
+func (s *CompositeServer) QueryRecords(ctx context.Context, now float64) ([]Record, Work, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Work{}, err
+	}
 	sql := s.SQL
 	if sql == "" {
 		sql = "SELECT * FROM " + s.Composite.Table

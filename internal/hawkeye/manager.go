@@ -182,6 +182,13 @@ func (m *Manager) SubmitTrigger(now float64, tr *Trigger) int {
 	return len(firings)
 }
 
+// NumTriggers reports the number of installed triggers.
+func (m *Manager) NumTriggers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.triggers)
+}
+
 // RemoveTrigger uninstalls the named trigger, reporting whether it existed.
 func (m *Manager) RemoveTrigger(name string) bool {
 	m.mu.Lock()

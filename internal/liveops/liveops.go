@@ -33,6 +33,11 @@ type Deployment struct {
 	// Now supplies the services' notion of time (wall seconds since
 	// start in the live server, simulation time in tests).
 	Now func() float64
+	// Serialize, when non-nil, wraps every op's execution. The Grid
+	// facade passes its own mutex here, so legacy param-based ops cannot
+	// race the facade's Advance pump on the shared components (the GIIS
+	// cache, producer rows) the way unserialized direct calls would.
+	Serialize func(run func())
 }
 
 // OpRequest is the v2 request body of the param-based ops: the same
@@ -65,7 +70,19 @@ func Register(srv *transport.Server, dep Deployment) {
 	if now == nil {
 		now = func() float64 { return 0 }
 	}
-	register(srv, "mds.query", func(params map[string]string) (string, error) {
+	serialize := dep.Serialize
+	if serialize == nil {
+		serialize = func(run func()) { run() }
+	}
+	// Every op runs inside the deployment's serializer before touching
+	// the shared components.
+	serialized := func(op string, fn opFunc) {
+		register(srv, op, func(params map[string]string) (payload string, err error) {
+			serialize(func() { payload, err = fn(params) })
+			return payload, err
+		})
+	}
+	serialized("mds.query", func(params map[string]string) (string, error) {
 		if dep.GIIS == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
 		}
@@ -87,13 +104,13 @@ func Register(srv *transport.Server, dep Deployment) {
 		}
 		return ldap.FormatResults(entries), nil
 	})
-	register(srv, "mds.hosts", func(map[string]string) (string, error) {
+	serialized("mds.hosts", func(map[string]string) (string, error) {
 		if dep.GIIS == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
 		}
 		return strings.Join(dep.GIIS.Hosts(now()), "\n"), nil
 	})
-	register(srv, "rgma.query", func(params map[string]string) (string, error) {
+	serialized("rgma.query", func(params map[string]string) (string, error) {
 		if dep.Consumer == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
 		}
@@ -118,13 +135,13 @@ func Register(srv *transport.Server, dep Deployment) {
 		}
 		return sb.String(), nil
 	})
-	register(srv, "rgma.tables", func(map[string]string) (string, error) {
+	serialized("rgma.tables", func(map[string]string) (string, error) {
 		if dep.Registry == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
 		}
 		return strings.Join(dep.Registry.Tables(now()), "\n"), nil
 	})
-	register(srv, "hawkeye.query", func(params map[string]string) (string, error) {
+	serialized("hawkeye.query", func(params map[string]string) (string, error) {
 		if dep.Manager == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
 		}
@@ -144,7 +161,7 @@ func Register(srv *transport.Server, dep Deployment) {
 		}
 		return sb.String(), nil
 	})
-	register(srv, "hawkeye.pool", func(map[string]string) (string, error) {
+	serialized("hawkeye.pool", func(map[string]string) (string, error) {
 		if dep.Manager == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
 		}

@@ -1,6 +1,7 @@
 package mds
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ldap"
@@ -155,12 +156,26 @@ func (g *GIIS) expire(now float64) {
 // is effectively infinite). A nil filter matches everything; non-empty
 // attrs project each entry ("query part").
 func (g *GIIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
+	return g.QueryCtx(context.Background(), now, filter, attrs)
+}
+
+// QueryCtx is Query with a cancellation point between each registered
+// source's cache refresh and before the directory search, so a caller
+// abandoning a fan-heavy aggregate query stops the work mid-flight
+// rather than only at the edges.
+func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
 	g.expire(now)
 	var st QueryStats
 	for _, id := range g.regOrder {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		if now >= g.cacheFill[id] {
 			st.Add(g.fill(g.regs[id], now))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
 	}
 	results, visited := g.dit.Search(SuffixDN, ldap.ScopeSub, filter)
 	// Structural glue entries materialized for tree shape are not data.

@@ -31,7 +31,7 @@ type Producer struct {
 
 // NewProducer creates a producer of the given table with a column schema.
 func NewProducer(id, table string, cols []relational.Column) *Producer {
-	return &Producer{ID: id, Table: table, schema: cols, lastGen: -1}
+	return &Producer{ID: id, Table: table, schema: cols, lastGen: -1, hub: &streamHub{}}
 }
 
 // Advertisement describes the producer for Registry registration.

@@ -1,6 +1,7 @@
 package rgma
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -140,6 +141,13 @@ func (cs *ConsumerServlet) Attached() int { return cs.attached }
 // Query mediates one SQL SELECT: registry lookup, per-producer-servlet
 // fan-out, merge. Distinct producer servlets are contacted once each.
 func (cs *ConsumerServlet) Query(now float64, sql string) (*relational.Result, QueryStats, error) {
+	return cs.QueryCtx(context.Background(), now, sql)
+}
+
+// QueryCtx is Query with a cancellation point before each producer
+// servlet is contacted, so a caller abandoning a mediated query stops
+// the fan-out mid-flight rather than only at the edges.
+func (cs *ConsumerServlet) QueryCtx(ctx context.Context, now float64, sql string) (*relational.Result, QueryStats, error) {
 	st := QueryStats{ThreadSpawns: 1}
 	stmt, err := relational.Parse(sql)
 	if err != nil {
@@ -161,6 +169,9 @@ func (cs *ConsumerServlet) Query(now float64, sql string) (*relational.Result, Q
 	seen := make(map[string]bool)
 	var merged *relational.Result
 	for _, ad := range ads {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		if seen[ad.Address] {
 			continue
 		}

@@ -2,6 +2,7 @@ package rgma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/relational"
 )
@@ -25,26 +26,36 @@ type Subscription struct {
 }
 
 // streamHub fans published rows out to subscribers. Each Producer owns
-// one.
+// one (created by NewProducer). Subscription changes and Publish fan-out
+// may run concurrently — e.g. a grid subscribing while its sensors
+// refresh — so the subscriber list is mutex-guarded.
 type streamHub struct {
+	mu   sync.Mutex
 	subs []*Subscription
 }
 
+// snapshot copies the subscriber list so fan-out runs without the lock
+// (Deliver callbacks may themselves Subscribe/Unsubscribe).
+func (h *streamHub) snapshot() []*Subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]*Subscription(nil), h.subs...)
+}
+
 // Subscribe attaches a continuous query to the producer. Future Publish
-// calls (and Refresh-driven regenerations) deliver matching rows.
+// calls (and Refresh-driven regenerations) deliver matching rows. It is
+// safe for concurrent use with Publish.
 func (p *Producer) Subscribe(sub *Subscription) {
-	if p.hub == nil {
-		p.hub = &streamHub{}
-	}
+	p.hub.mu.Lock()
+	defer p.hub.mu.Unlock()
 	p.hub.subs = append(p.hub.subs, sub)
 }
 
 // Unsubscribe detaches the subscription, reporting whether it was
-// attached.
+// attached. It is safe for concurrent use with Publish.
 func (p *Producer) Unsubscribe(id string) bool {
-	if p.hub == nil {
-		return false
-	}
+	p.hub.mu.Lock()
+	defer p.hub.mu.Unlock()
 	for i, s := range p.hub.subs {
 		if s.ID == id {
 			p.hub.subs = append(p.hub.subs[:i], p.hub.subs[i+1:]...)
@@ -56,19 +67,22 @@ func (p *Producer) Unsubscribe(id string) bool {
 
 // Subscribers reports the number of attached continuous queries.
 func (p *Producer) Subscribers() int {
-	if p.hub == nil {
-		return 0
-	}
+	p.hub.mu.Lock()
+	defer p.hub.mu.Unlock()
 	return len(p.hub.subs)
 }
 
 // publish routes newly published rows to subscribers.
 func (p *Producer) publish(rows [][]relational.Value) {
-	if p.hub == nil || len(rows) == 0 {
+	if len(rows) == 0 {
+		return
+	}
+	subs := p.hub.snapshot()
+	if len(subs) == 0 {
 		return
 	}
 	schema := relational.Schema{Columns: p.schema}
-	for _, sub := range p.hub.subs {
+	for _, sub := range subs {
 		var matched [][]relational.Value
 		for _, row := range rows {
 			if sub.Where != nil {

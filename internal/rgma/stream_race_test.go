@@ -1,0 +1,64 @@
+package rgma
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestStreamHubConcurrency is the -race regression test for the
+// streamHub: subscribers attach and detach while the producer fans
+// published rows out concurrently. Before the hub was mutex-guarded,
+// this raced on the subscriber slice.
+func TestStreamHubConcurrency(t *testing.T) {
+	p := NewMonitoringProducer("p0", "siteinfo", "lucky3", 4)
+	var delivered int64
+
+	// Publisher: regenerate and publish rows until the churn is over.
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Rows(float64(i))
+		}
+	}()
+
+	// Churners: subscribe, observe, unsubscribe, in parallel.
+	var churnWG sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		churnWG.Add(1)
+		go func(g int) {
+			defer churnWG.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("sub-%d-%d", g, i)
+				p.Subscribe(&Subscription{
+					ID: id,
+					Deliver: func(string, [][]relational.Value) {
+						atomic.AddInt64(&delivered, 1)
+					},
+				})
+				p.Subscribers()
+				if !p.Unsubscribe(id) {
+					t.Errorf("unsubscribe %s: not attached", id)
+					return
+				}
+			}
+		}(g)
+	}
+	churnWG.Wait()
+	close(stop)
+	pubWG.Wait()
+	if p.Subscribers() != 0 {
+		t.Fatalf("subscribers left attached: %d", p.Subscribers())
+	}
+}

@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file is the streaming extension of the v2 protocol: server-push
+// event streams over the same length-prefixed JSON connection. A client
+// opens a stream by sending a v2 request frame with "stream":true; the
+// server answers with an ack frame ("stream":true), then a sequence of
+// event frames (each carrying a JSON body), and finally an end frame
+// ("end":true, OK or carrying a structured error). The client cancels by
+// sending an OpStreamCancel frame; the server tears the stream down and
+// still sends the end frame, so cancellation propagates both ways. While
+// a stream is open the connection is dedicated to it: request/response
+// calls resume only after the end frame of a client-cancelled stream.
+
+// OpStreamCancel is the frame a client sends to stop an open stream.
+const OpStreamCancel = "stream.cancel"
+
+// StreamFunc pumps one open stream: it calls send once per event frame
+// and returns when the stream is over (a nil or context-cancellation
+// return ends the stream cleanly; any other error reaches the client as
+// a structured end frame).
+type StreamFunc func(send func(v interface{}) error) error
+
+// rawStreamHandler is the type-erased form a registered stream handler
+// is stored in: body bytes in, a running stream (or a setup error) out.
+type rawStreamHandler func(ctx context.Context, body json.RawMessage) (StreamFunc, *Error)
+
+// HandleStream registers a streaming v2 handler for op on s, replacing
+// any previous one. open validates the request and attaches whatever
+// sources the stream needs; the returned StreamFunc then runs for the
+// stream's lifetime with ctx cancelled when the client cancels or the
+// connection drops. A setup error is delivered to the client as the
+// stream's only frame, with its structured code preserved.
+func HandleStream[Req any](s *Server, op string,
+	open func(ctx context.Context, req Req) (StreamFunc, error)) {
+	raw := func(ctx context.Context, body json.RawMessage) (StreamFunc, *Error) {
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, Errf(CodeBadRequest, "op %q: decoding request: %v", op, err)
+			}
+		}
+		run, err := open(ctx, req)
+		if err != nil {
+			return nil, AsError(err)
+		}
+		return run, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streams[op] = raw
+}
+
+// writeFlush writes one frame and flushes it to the socket (streams must
+// not sit in the buffer waiting for more output).
+func writeFlush(w *bufio.Writer, v interface{}) error {
+	if err := WriteFrame(w, v); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// serveStream runs one stream on a connection: ack, event frames, end
+// frame. It owns both directions while the stream is open — the read
+// side watches for the client's cancel frame. The return value reports
+// whether the connection is reusable for further requests: true only
+// when the client cancelled explicitly (it is then blocked on the end
+// frame and the read side is quiet again).
+func (s *Server) serveStream(r *bufio.Reader, w *bufio.Writer, req requestFrame, open rawStreamHandler) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run, herr := open(ctx, req.Body)
+	if herr != nil {
+		writeFlush(w, responseFrame{V: 2, Stream: true, End: true, Error: herr.Message, Code: herr.Code})
+		return true
+	}
+	if err := writeFlush(w, responseFrame{V: 2, OK: true, Stream: true}); err != nil {
+		return false
+	}
+	// The watcher keeps reading so a cancel frame — or the connection
+	// dropping — stops the stream. Any other frame during a stream is a
+	// protocol violation and tears the stream down too.
+	sawCancel := make(chan bool, 1)
+	go func() {
+		got := false
+		var f requestFrame
+		if err := ReadFrame(r, &f); err == nil && f.Op == OpStreamCancel {
+			got = true
+		}
+		sawCancel <- got
+		cancel()
+	}()
+	send := func(v interface{}) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return Errf(CodeInternal, "op %q: encoding event: %v", req.Op, err)
+		}
+		return writeFlush(w, responseFrame{V: 2, OK: true, Stream: true, Body: b})
+	}
+	err := run(send)
+	cancel()
+	if e := AsError(err); err != nil && e.Code != CodeCanceled && e.Code != CodeDeadline {
+		writeFlush(w, responseFrame{V: 2, Stream: true, End: true, Error: e.Message, Code: e.Code})
+	} else {
+		writeFlush(w, responseFrame{V: 2, OK: true, Stream: true, End: true})
+	}
+	select {
+	case got := <-sawCancel:
+		return got
+	default:
+		// The stream ended server-side with the watcher still blocked in
+		// a read; the connection cannot be returned to the request loop.
+		return false
+	}
+}
+
+// ClientStream is one open server-push stream on a client connection.
+// Recv is single-reader; Cancel may be called from any goroutine.
+type ClientStream struct {
+	c        *Client
+	op       string
+	cancelMu sync.Mutex
+	canceled bool
+}
+
+// StreamV2 opens a server-push stream for op: it sends the stream
+// request and waits for the server's ack, returning a ClientStream to
+// receive event frames from. A setup failure on the server side is
+// returned here with its structured code, exactly like a failed CallV2.
+// The connection is dedicated to the stream until it ends; concurrent
+// Call/CallV2 on the same client fail rather than corrupt the framing.
+func (c *Client) StreamV2(ctx context.Context, op string, req interface{}) (*ClientStream, error) {
+	frame := requestFrame{V: 2, Op: op, Stream: true}
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, Errf(CodeBadRequest, "op %q: encoding request: %v", op, err)
+		}
+		frame.Body = b
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.streaming {
+		return nil, Errf(CodeBadRequest, "op %q: connection already carries a stream", op)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, AsError(err)
+	}
+	// Bound the handshake by the context: a deadline arms the socket
+	// directly; a cancel-only context poisons it from a watcher (the
+	// same discipline as CallV2), so a stalled server cannot wedge the
+	// subscribe forever.
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+		defer c.conn.SetDeadline(time.Time{})
+	} else if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-exited
+			c.conn.SetDeadline(time.Time{})
+		}()
+	}
+	handshakeErr := func(err error) error {
+		// Report the caller's own cancellation/expiry in preference to
+		// the i/o error it surfaced as.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Errf(AsError(ctxErr).Code, "op %q: %v", op, ctxErr)
+		}
+		return AsError(err)
+	}
+	if err := WriteFrame(c.w, frame); err != nil {
+		return nil, handshakeErr(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, handshakeErr(err)
+	}
+	var rf responseFrame
+	if err := ReadFrame(c.r, &rf); err != nil {
+		return nil, handshakeErr(err)
+	}
+	if rf.V < 2 {
+		return nil, Errf(CodeProtocol,
+			"op %q: server answered with the v1 protocol (streams need a v2 server)", op)
+	}
+	if rf.End || !rf.OK {
+		code := rf.Code
+		if code == "" {
+			code = CodeExec
+		}
+		return nil, &Error{Code: code, Message: rf.Error}
+	}
+	c.streaming = true
+	return &ClientStream{c: c, op: op}, nil
+}
+
+// Recv reads the next event frame into v (which may be nil to discard
+// it). It returns io.EOF on a clean end of stream and the server's
+// structured error on a failed one. After either — or after a read
+// failure — the client stops refusing request/response calls, but only
+// a stream the client itself cancelled leaves the connection usable:
+// the server closes the connection when a stream ends any other way
+// (see the package note above), so after a server-initiated end or a
+// read failure the right move is Close and re-Dial.
+func (cs *ClientStream) Recv(v interface{}) error {
+	var rf responseFrame
+	if err := ReadFrame(cs.c.r, &rf); err != nil {
+		cs.streamOver()
+		return err
+	}
+	if rf.End {
+		cs.streamOver()
+		if rf.OK {
+			return io.EOF
+		}
+		code := rf.Code
+		if code == "" {
+			code = CodeExec
+		}
+		return &Error{Code: code, Message: rf.Error}
+	}
+	if v != nil && len(rf.Body) > 0 {
+		if err := json.Unmarshal(rf.Body, v); err != nil {
+			return Errf(CodeInternal, "op %q: decoding event: %v", cs.op, err)
+		}
+	}
+	return nil
+}
+
+// streamOver releases the connection from stream mode and disarms any
+// deadline Cancel left on it.
+func (cs *ClientStream) streamOver() {
+	cs.c.mu.Lock()
+	cs.c.streaming = false
+	cs.c.mu.Unlock()
+	cs.c.conn.SetReadDeadline(time.Time{})
+}
+
+// Cancel asks the server to stop the stream. The server drains its
+// sources and sends the end frame, which the reader observes through
+// Recv. A read deadline is armed so a dead peer cannot block the final
+// Recv forever. Cancel is idempotent.
+func (cs *ClientStream) Cancel() error {
+	cs.cancelMu.Lock()
+	defer cs.cancelMu.Unlock()
+	if cs.canceled {
+		return nil
+	}
+	cs.canceled = true
+	cs.c.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := WriteFrame(cs.c.w, requestFrame{V: 2, Op: OpStreamCancel}); err != nil {
+		return err
+	}
+	return cs.c.w.Flush()
+}
+
+// Close closes the underlying connection (the abrupt teardown; prefer
+// Cancel followed by draining Recv for a clean one).
+func (cs *ClientStream) Close() error { return cs.c.Close() }

@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+type tick struct {
+	N int `json:"n"`
+}
+
+// streamServer serves a "ticks" stream op: it emits req.N events then
+// ends cleanly; with N < 0 it runs until cancelled, and with N == -99
+// setup fails with a coded error.
+func streamServer(t *testing.T) (addr string) {
+	t.Helper()
+	s := NewServer()
+	HandleStream(s, "ticks", func(ctx context.Context, req tick) (StreamFunc, error) {
+		if req.N == -99 {
+			return nil, Errf(CodeUnavailable, "ticks are off today")
+		}
+		run := func(send func(v interface{}) error) error {
+			for i := 0; req.N < 0 || i < req.N; i++ {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				if err := send(tick{N: i}); err != nil {
+					return err
+				}
+				if req.N < 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			return nil
+		}
+		return run, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return addr
+}
+
+// TestStreamDelivery: a finite stream delivers every event frame in
+// order and ends with io.EOF.
+func TestStreamDelivery(t *testing.T) {
+	c, err := Dial(streamServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs, err := c.StreamV2(context.Background(), "ticks", tick{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var tk tick
+		if err := cs.Recv(&tk); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if tk.N != i {
+			t.Fatalf("recv %d: got %d", i, tk.N)
+		}
+	}
+	if err := cs.Recv(nil); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+// TestStreamSetupError: a failed open reaches the client as the
+// StreamV2 error, with its structured code intact.
+func TestStreamSetupError(t *testing.T) {
+	c, err := Dial(streamServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.StreamV2(context.Background(), "ticks", tick{N: -99})
+	if ErrorCode(err) != CodeUnavailable {
+		t.Fatalf("setup error = %v, want %s", err, CodeUnavailable)
+	}
+	// The connection survives a refused stream.
+	var ol OpsList
+	if err := c.CallV2(context.Background(), "ops.list", nil, &ol); err != nil {
+		t.Fatalf("call after refused stream: %v", err)
+	}
+}
+
+// TestStreamCancelAndReuse: the client cancels an endless stream, the
+// server confirms with an end frame, and the connection then serves
+// request/response calls again.
+func TestStreamCancelAndReuse(t *testing.T) {
+	c, err := Dial(streamServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs, err := c.StreamV2(context.Background(), "ticks", tick{N: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk tick
+	if err := cs.Recv(&tk); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent request/response call must refuse rather than corrupt
+	// the stream's framing.
+	if err := c.CallV2(context.Background(), "ops.list", nil, nil); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("call during stream = %v, want %s", err, CodeBadRequest)
+	}
+	if err := cs.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if err := cs.Recv(nil); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("post-cancel recv = %v, want io.EOF", err)
+			}
+			break
+		}
+	}
+	var ol OpsList
+	if err := c.CallV2(context.Background(), "ops.list", nil, &ol); err != nil {
+		t.Fatalf("call after cancelled stream: %v", err)
+	}
+	found := false
+	for _, op := range ol.Ops {
+		if op == "ticks" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ops.list after stream misses the stream op: %v", ol.Ops)
+	}
+}
+
+// TestStreamOpMisuse: stream ops demand stream requests and vice versa,
+// with structured codes either way.
+func TestStreamOpMisuse(t *testing.T) {
+	c, err := Dial(streamServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CallV2(context.Background(), "ticks", tick{N: 1}, nil); ErrorCode(err) != CodeBadRequest {
+		t.Fatalf("plain call on stream op = %v, want %s", err, CodeBadRequest)
+	}
+	if _, err := c.StreamV2(context.Background(), "ops.list", nil); ErrorCode(err) != CodeUnknownOp {
+		t.Fatalf("stream open on plain op = %v, want %s", err, CodeUnknownOp)
+	}
+}
+
+// TestStreamReadFailureReleasesClient: a mid-stream connection failure
+// ends the stream and releases the client from stream mode, so later
+// calls surface the real connection error instead of a stale
+// "connection carries an open stream" refusal.
+func TestStreamReadFailureReleasesClient(t *testing.T) {
+	s := NewServer()
+	HandleStream(s, "forever", func(ctx context.Context, _ struct{}) (StreamFunc, error) {
+		return func(send func(v interface{}) error) error {
+			<-ctx.Done()
+			return ctx.Err()
+		}, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cs, err := c.StreamV2(context.Background(), "forever", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // drops the connection mid-stream
+	if err := cs.Recv(nil); err == nil {
+		t.Fatal("Recv survived a dropped connection")
+	}
+	err = c.CallV2(context.Background(), "ops.list", nil, nil)
+	if err == nil {
+		t.Fatal("call on a dead connection succeeded")
+	}
+	if e := AsError(err); e.Code == CodeBadRequest {
+		t.Fatalf("call after failed stream still refused as streaming: %v", err)
+	}
+}
+
+// TestServerCloseTerminatesStreams: closing the server tears down open
+// streaming connections rather than waiting on them forever.
+func TestServerCloseTerminatesStreams(t *testing.T) {
+	s := NewServer()
+	HandleStream(s, "forever", func(ctx context.Context, _ struct{}) (StreamFunc, error) {
+		return func(send func(v interface{}) error) error {
+			<-ctx.Done()
+			return ctx.Err()
+		}, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.StreamV2(context.Background(), "forever", nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on an open stream")
+	}
+}

@@ -90,8 +90,10 @@ type Server struct {
 	mu       sync.Mutex
 	handlers map[string]Handler
 	v2       map[string]rawV2Handler
+	streams  map[string]rawStreamHandler
 	ln       net.Listener
 	wg       sync.WaitGroup
+	conns    map[net.Conn]bool
 	closed   bool
 	// Concurrent allows handlers to run in parallel; by default calls
 	// are serialized, matching the single-backend daemons being modeled.
@@ -102,7 +104,12 @@ type Server struct {
 // NewServer returns a server with only the built-in "ops.list"
 // introspection op registered.
 func NewServer() *Server {
-	s := &Server{handlers: make(map[string]Handler), v2: make(map[string]rawV2Handler)}
+	s := &Server{
+		handlers: make(map[string]Handler),
+		v2:       make(map[string]rawV2Handler),
+		streams:  make(map[string]rawStreamHandler),
+		conns:    make(map[net.Conn]bool),
+	}
 	Handle(s, "ops.list", func(context.Context, struct{}) (OpsList, error) {
 		return OpsList{Ops: s.Ops()}, nil
 	})
@@ -121,13 +128,19 @@ func (s *Server) Handle(op string, h Handler) {
 func (s *Server) Ops() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seen := make(map[string]bool, len(s.handlers)+len(s.v2))
-	out := make([]string, 0, len(s.handlers)+len(s.v2))
+	seen := make(map[string]bool, len(s.handlers)+len(s.v2)+len(s.streams))
+	out := make([]string, 0, len(s.handlers)+len(s.v2)+len(s.streams))
 	for op := range s.handlers {
 		seen[op] = true
 		out = append(out, op)
 	}
 	for op := range s.v2 {
+		if !seen[op] {
+			seen[op] = true
+			out = append(out, op)
+		}
+	}
+	for op := range s.streams {
 		if !seen[op] {
 			out = append(out, op)
 		}
@@ -173,9 +186,22 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.serveConn(conn)
 		}()
 	}
@@ -195,7 +221,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		var resp responseFrame
 		if req.V >= 2 {
-			resp = s.dispatchV2(req)
+			s.mu.Lock()
+			sh := s.streams[req.Op]
+			s.mu.Unlock()
+			switch {
+			case sh != nil && req.Stream:
+				if !s.serveStream(r, w, req, sh) {
+					return
+				}
+				continue
+			case sh != nil:
+				resp = v2Failure(Errf(CodeBadRequest,
+					"op %q is a streaming op (open it with a stream request)", req.Op))
+			case req.Stream:
+				resp = v2Failure(Errf(CodeUnknownOp,
+					"no stream op %q registered (try ops.list)", req.Op))
+			default:
+				resp = s.dispatchV2(req)
+			}
 		} else {
 			v1 := s.dispatch(Request{Op: req.Op, Params: req.Params})
 			resp = responseFrame{OK: v1.OK, Error: v1.Error, Payload: v1.Payload}
@@ -209,7 +252,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, closes every open connection (terminating
+// any streams they carry), and waits for in-flight handlers.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -218,9 +262,16 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 }
@@ -232,11 +283,21 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	// streaming marks the connection as dedicated to an open stream
+	// (see StreamV2); request/response calls fail while it is set.
+	streaming bool
 }
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a server, honoring ctx's deadline and
+// cancellation during the TCP connect.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +308,9 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Call(op string, params map[string]string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.streaming {
+		return "", fmt.Errorf("transport: connection carries an open stream")
+	}
 	if err := WriteFrame(c.w, Request{Op: op, Params: params}); err != nil {
 		return "", err
 	}

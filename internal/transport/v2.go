@@ -103,6 +103,8 @@ type requestFrame struct {
 	// v2 fields.
 	Body          json.RawMessage `json:"body,omitempty"`
 	TimeoutMillis int64           `json:"timeout_ms,omitempty"`
+	// Stream marks a stream-open request (see stream.go).
+	Stream bool `json:"stream,omitempty"`
 }
 
 // responseFrame is the on-wire superset of the v1 and v2 response
@@ -117,6 +119,10 @@ type responseFrame struct {
 	// v2 fields.
 	Code Code            `json:"code,omitempty"`
 	Body json.RawMessage `json:"body,omitempty"`
+	// Streaming fields: Stream marks ack/event/end frames of an open
+	// stream; End marks its final frame (see stream.go).
+	Stream bool `json:"stream,omitempty"`
+	End    bool `json:"end,omitempty"`
 }
 
 // rawV2Handler is the type-erased form a registered v2 handler is stored
@@ -213,6 +219,9 @@ func (c *Client) CallV2(ctx context.Context, op string, req, resp interface{}) e
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.streaming {
+		return Errf(CodeBadRequest, "op %q: connection carries an open stream", op)
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {

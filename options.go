@@ -18,7 +18,12 @@ type config struct {
 	managerHost       string
 	clock             func() float64
 	advertiseInterval float64
+	streamBuffer      int
 }
+
+// DefaultStreamBuffer is the per-subscription event buffer bound used
+// when neither Subscription.Buffer nor WithStreamBuffer sets one.
+const DefaultStreamBuffer = 64
 
 func defaultConfig() *config {
 	return &config{
@@ -26,6 +31,7 @@ func defaultConfig() *config {
 		rgmaProducers:     3,
 		managerHost:       "manager",
 		advertiseInterval: 30,
+		streamBuffer:      DefaultStreamBuffer,
 	}
 }
 
@@ -115,6 +121,21 @@ func WithWallClock() Option {
 	return func(c *config) error {
 		start := time.Now()
 		c.clock = func() float64 { return time.Since(start).Seconds() }
+		return nil
+	}
+}
+
+// WithStreamBuffer sets the default per-subscription event buffer bound
+// (default DefaultStreamBuffer). A Subscription's own Buffer field, when
+// positive, overrides it. When a consumer falls behind the buffer, new
+// events are dropped and accounted rather than queued without limit; see
+// ErrLagged for the delivery semantics.
+func WithStreamBuffer(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("gridmon: WithStreamBuffer(%d): need a positive buffer", n)
+		}
+		c.streamBuffer = n
 		return nil
 	}
 }

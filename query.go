@@ -68,6 +68,7 @@ const (
 	ErrExec        = transport.CodeExec
 	ErrUnavailable = transport.CodeUnavailable
 	ErrDeadline    = transport.CodeDeadline
+	ErrCanceled    = transport.CodeCanceled
 )
 
 // CodeOf extracts the structured code from a query error (ErrExec for
@@ -80,20 +81,26 @@ func CodeOf(err error) ErrorCode { return transport.ErrorCode(err) }
 // Failures carry structured codes (see CodeOf): ErrParse for a bad
 // Expr, ErrBadRequest for a bad target, ErrUnavailable for a system not
 // deployed here, ErrDeadline when ctx expires first.
+//
+// The context is honored during execution, not just at the edges: the
+// serving component checks it before starting, and the fan-out
+// components (the GIIS aggregate and the mediated ConsumerServlet) check
+// it again between sub-queries. Query is safe for concurrent use with
+// Advance and Subscribe.
 func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, transport.AsError(err)
 	}
+	g.mu.Lock()
 	rq, err := g.querier(q)
 	if err != nil {
+		g.mu.Unlock()
 		return nil, err
 	}
-	records, work, err := rq.QueryRecords(g.clock())
+	records, work, err := rq.QueryRecords(ctx, g.clock())
+	g.mu.Unlock()
 	if err != nil {
-		return nil, transport.AsError(err)
-	}
-	if err := ctx.Err(); err != nil {
 		return nil, transport.AsError(err)
 	}
 	role := q.Role

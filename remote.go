@@ -2,6 +2,8 @@ package gridmon
 
 import (
 	"context"
+	"errors"
+	"io"
 	"time"
 
 	"repro/internal/transport"
@@ -9,11 +11,14 @@ import (
 
 // RemoteGrid is a connection to a grid served over TCP (cmd/gridmon-live
 // or any transport.Server passed to Grid.Serve). It implements the same
-// Querier interface as the in-process Grid: the same Query returns the
-// same records and Work, with Elapsed measuring the full round trip.
-// It is safe for concurrent use; calls are serialized over the single
-// connection.
+// Querier and Subscriber interfaces as the in-process Grid: the same
+// Query returns the same records and Work (with Elapsed measuring the
+// full round trip), and the same Subscription delivers the same ordered
+// event sequence. It is safe for concurrent use; calls are serialized
+// over the single connection, and each Subscribe opens a dedicated
+// streaming connection of its own.
 type RemoteGrid struct {
+	addr   string
 	client *transport.Client
 }
 
@@ -23,7 +28,107 @@ func Dial(addr string) (*RemoteGrid, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteGrid{client: c}, nil
+	return &RemoteGrid{addr: addr, client: c}, nil
+}
+
+// Subscribe opens a typed event stream for sub on the remote grid, over
+// a dedicated connection speaking the transport's streaming frames
+// (subscribe/event/error/cancel). Setup failures return here with the
+// same structured codes as in-process Subscribe. Events preserve the
+// serving grid's sequence numbers, so a remote stream is
+// event-for-event identical to an in-process one; the client-side
+// buffer applies the same bounded-buffer lag semantics (see ErrLagged),
+// and drops on the serving side are merged into this stream's drop
+// accounting.
+//
+// Cancelling ctx (or calling Stream.Close) sends a cancel frame; the
+// server detaches the subscription's sources and confirms with an end
+// frame, after which Next drains the buffer and returns the terminal
+// error. A failed connection surfaces as the stream's terminal error.
+func (r *RemoteGrid) Subscribe(ctx context.Context, sub Subscription) (*Stream, error) {
+	client, err := transport.DialContext(ctx, r.addr)
+	if err != nil {
+		return nil, transport.AsError(err)
+	}
+	cs, err := client.StreamV2(ctx, "grid.subscribe", sub)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	// The stream's first frame is the preamble carrying the serving
+	// grid's effective buffer bound, so an unset Subscription.Buffer
+	// lags exactly as the in-process stream would (WithStreamBuffer on
+	// the server included). The read is bounded by ctx through the
+	// cancel frame.
+	preDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cs.Cancel()
+		case <-preDone:
+		}
+	}()
+	var pre wireEvent
+	preErr := cs.Recv(&pre)
+	close(preDone)
+	if preErr != nil {
+		client.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, transport.AsError(ctxErr)
+		}
+		return nil, transport.AsError(preErr)
+	}
+	buffer := sub.Buffer
+	if buffer <= 0 {
+		buffer = pre.Buffer
+	}
+	if buffer <= 0 {
+		buffer = DefaultStreamBuffer
+	}
+	st := newStream(sub, buffer)
+	// A first frame that already carries data (a server not sending the
+	// preamble) is processed, not lost.
+	switch {
+	case pre.Lagged > 0:
+		st.addDrops(pre.Lagged)
+	case pre.Event != nil:
+		st.emit(*pre.Event)
+	}
+	// The canceller propagates the consumer hanging up — by ctx or by
+	// Stream.Close — to the server as a cancel frame; the reader below
+	// then observes the server's end frame and terminates the stream.
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-st.stopped:
+		case <-st.done:
+		}
+		cs.Cancel()
+	}()
+	go func() {
+		defer client.Close()
+		for {
+			var we wireEvent
+			if err := cs.Recv(&we); err != nil {
+				switch {
+				case errors.Is(err, io.EOF) && ctx.Err() != nil:
+					st.terminate(ctx.Err())
+				case errors.Is(err, io.EOF):
+					st.terminate(ErrStreamClosed)
+				default:
+					st.terminate(transport.AsError(err))
+				}
+				return
+			}
+			switch {
+			case we.Lagged > 0:
+				st.addDrops(we.Lagged)
+			case we.Event != nil:
+				st.emit(*we.Event)
+			}
+		}
+	}()
+	return st, nil
 }
 
 // Query answers q on the remote grid. The context deadline, when set,

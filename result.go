@@ -2,7 +2,6 @@ package gridmon
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -61,12 +60,7 @@ func (rs *ResultSet) String() string {
 		rs.Work.ResponseBytes, rs.Elapsed.Seconds())
 	for _, r := range rs.Records {
 		fmt.Fprintf(&sb, "  %s\n", r.Key)
-		names := make([]string, 0, len(r.Fields))
-		for name := range r.Fields {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range r.SortedFieldNames() {
 			fmt.Fprintf(&sb, "    %s: %s\n", name, r.Fields[name])
 		}
 	}

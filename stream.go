@@ -1,0 +1,238 @@
+package gridmon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// EventKind classifies what a stream event reports.
+type EventKind string
+
+// The event kinds. Put carries new or changed records, Delete carries
+// the keys of records that vanished (MDS watchers only — the poll-and-
+// diff detects disappearance), and Trigger carries the record that
+// matched a Hawkeye trigger constraint.
+const (
+	EventPut     EventKind = "put"
+	EventDelete  EventKind = "delete"
+	EventTrigger EventKind = "trigger"
+)
+
+// Event is one typed delivery on a Stream. Events survive a JSON round
+// trip unchanged, so a remote subscriber observes the same sequence —
+// including Seq numbers, which the serving grid assigns — as an
+// in-process one.
+type Event struct {
+	// Seq numbers events within one subscription, starting at 1. Dropped
+	// events (see ErrLagged) consume sequence numbers, so a gap in Seq
+	// identifies exactly where a lagging consumer lost data.
+	Seq uint64 `json:"seq"`
+	// Time is the grid-clock instant the event was generated at.
+	Time float64 `json:"time"`
+	// Kind is Put, Delete or Trigger.
+	Kind EventKind `json:"kind"`
+	// Records carries the event's decoded records (keys only for Delete).
+	Records []Record `json:"records"`
+	// Work quantifies what the source did to produce the event.
+	Work Work `json:"work"`
+}
+
+// ErrLagged reports that a slow consumer fell behind its stream's
+// bounded buffer and events were dropped. Test with errors.Is; the
+// concrete *LagError carries the drop count.
+var ErrLagged = errors.New("gridmon: subscriber lagged, events dropped")
+
+// ErrStreamClosed is returned by Next after Close.
+var ErrStreamClosed = errors.New("gridmon: stream closed")
+
+// LagError is the concrete lag report: Dropped events were discarded
+// since the previous Next call. errors.Is(err, ErrLagged) matches it.
+type LagError struct{ Dropped uint64 }
+
+func (e *LagError) Error() string {
+	return fmt.Sprintf("gridmon: subscriber lagged, %d event(s) dropped", e.Dropped)
+}
+
+// Is makes errors.Is(err, ErrLagged) true for *LagError.
+func (e *LagError) Is(target error) bool { return target == ErrLagged }
+
+// Stream delivers a subscription's events in order. The buffer is
+// bounded (Subscription.Buffer, default DefaultStreamBuffer): when the
+// consumer falls behind, new events are dropped rather than queued
+// without limit, and the next Next call reports the loss once as a
+// *LagError before resuming delivery. Streams are safe for one consumer
+// goroutine; producers (the grid's sources) run concurrently.
+type Stream struct {
+	sub Subscription
+
+	ch      chan Event
+	stopped chan struct{} // closed by Close: the consumer hung up
+
+	mu       sync.Mutex
+	seq      uint64 // last assigned sequence number (in-process streams)
+	lagPend  uint64 // drops not yet reported through Next
+	lagTotal uint64
+	done     chan struct{} // closed by terminate: no more events
+	err      error         // terminal error, set before done closes
+}
+
+func newStream(sub Subscription, buffer int) *Stream {
+	return &Stream{
+		sub:     sub,
+		ch:      make(chan Event, buffer),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Subscription returns the subscription this stream serves.
+func (s *Stream) Subscription() Subscription { return s.sub }
+
+// Buffer reports the stream's effective bounded-buffer capacity.
+func (s *Stream) Buffer() int { return cap(s.ch) }
+
+// send assigns the next sequence number and emits (in-process sources).
+func (s *Stream) send(time float64, kind EventKind, records []Record, work Work) {
+	s.mu.Lock()
+	s.seq++
+	ev := Event{Seq: s.seq, Time: time, Kind: kind, Records: records, Work: work}
+	s.deliverLocked(ev)
+	s.mu.Unlock()
+}
+
+// emit delivers an event that already carries its sequence number (the
+// remote client path, which preserves the server's numbering).
+func (s *Stream) emit(ev Event) {
+	s.mu.Lock()
+	s.deliverLocked(ev)
+	s.mu.Unlock()
+}
+
+// deliverLocked buffers ev or — when the consumer has let the buffer
+// fill — drops it and counts the loss. Callers hold s.mu.
+func (s *Stream) deliverLocked(ev Event) {
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.lagPend++
+		s.lagTotal++
+	}
+}
+
+// addDrops merges a drop count reported by an upstream stream (the
+// serving grid's own buffer, for remote subscriptions).
+func (s *Stream) addDrops(n uint64) {
+	s.mu.Lock()
+	s.lagPend += n
+	s.lagTotal += n
+	s.mu.Unlock()
+}
+
+// terminate marks the stream over with err as the terminal error;
+// already-buffered events remain readable. Idempotent: the first caller
+// wins.
+func (s *Stream) terminate(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	if err == nil {
+		err = ErrStreamClosed
+	}
+	s.err = err
+	close(s.done)
+}
+
+// takeLag swaps out the pending drop count for a lag report.
+func (s *Stream) takeLag() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lagPend == 0 {
+		return 0, false
+	}
+	n := s.lagPend
+	s.lagPend = 0
+	return n, true
+}
+
+// Next returns the next event. When the consumer has lagged and events
+// were dropped since the previous call, Next first returns a *LagError
+// carrying the drop count (errors.Is(err, ErrLagged)), then resumes
+// delivering buffered events. After the subscription ends — the
+// subscribe context was cancelled, Close was called, or a remote
+// connection failed — Next drains the remaining buffered events and then
+// returns the terminal error.
+func (s *Stream) Next(ctx context.Context) (Event, error) {
+	if n, lagged := s.takeLag(); lagged {
+		return Event{}, &LagError{Dropped: n}
+	}
+	// Prefer buffered events over termination, so a closing stream still
+	// delivers what it already accepted.
+	select {
+	case ev := <-s.ch:
+		return ev, nil
+	default:
+	}
+	select {
+	case ev := <-s.ch:
+		return ev, nil
+	case <-ctx.Done():
+		return Event{}, ctx.Err()
+	case <-s.done:
+		select {
+		case ev := <-s.ch:
+			return ev, nil
+		default:
+		}
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		return Event{}, err
+	}
+}
+
+// Dropped reports the total number of events dropped over the stream's
+// lifetime (including drops already surfaced through lag errors).
+func (s *Stream) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lagTotal
+}
+
+// Err returns the stream's terminal error, or nil while it is live.
+func (s *Stream) Err() error {
+	select {
+	case <-s.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.err
+	default:
+		return nil
+	}
+}
+
+// Close ends the subscription from the consumer side: sources are
+// detached (for a remote stream, a cancel frame is sent) and Next
+// returns ErrStreamClosed after the buffer drains. Idempotent.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.stopped:
+		s.mu.Unlock()
+		return nil
+	default:
+		close(s.stopped)
+	}
+	s.mu.Unlock()
+	return nil
+}
