@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race bench
+.PHONY: all ci fmt vet build test race bench bench-json
 
 all: ci
 
@@ -32,4 +32,11 @@ race:
 # bench runs every benchmark exactly once — a smoke pass proving the
 # harness works, not a measurement.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json runs the full benchmark suite with memory stats and records
+# the go-test JSON event stream in BENCH_<date>.json, so the perf
+# trajectory across PRs has machine-readable data points. Compare runs
+# with e.g.:  jq -r 'select(.Action=="output") | .Output' BENCH_*.json | grep ns/op
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -json ./... > BENCH_$$(date +%Y-%m-%d).json

@@ -202,6 +202,24 @@ func BenchmarkClassAdMatch(b *testing.B) {
 	}
 }
 
+// BenchmarkClassAdMatchCompiled is BenchmarkClassAdMatch through the
+// compiled matcher — the Manager's steady state, where each trigger is
+// compiled once and matched against every advertised machine.
+func BenchmarkClassAdMatchCompiled(b *testing.B) {
+	trigger := classad.NewAd()
+	trigger.Set(classad.AttrRequirements, classad.MustParseExpr("TARGET.CpuLoad > 50"))
+	machine := classad.NewAd()
+	machine.SetString("Name", "lucky4")
+	machine.SetReal("CpuLoad", 80)
+	cm := classad.CompileMatch(trigger)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cm.Matches(machine) {
+			b.Fatal("match failed")
+		}
+	}
+}
+
 func BenchmarkLDAPFilterSearch(b *testing.B) {
 	dit := ldap.NewDIT()
 	for i := 0; i < 500; i++ {

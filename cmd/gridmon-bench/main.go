@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	gridmon-bench [-quick] [-csv dir] [exp1|exp2|exp3|exp4 ...]
+//	gridmon-bench [-quick] [-parallel n] [-csv dir] [exp1|exp2|exp3|exp4 ...]
 //
 // With no experiment arguments every set runs. -quick shortens the
 // measurement window for smoke runs (the paper's full 10-minute windows
-// otherwise apply).
+// otherwise apply). -parallel measures up to n sweep points concurrently
+// (default: one per CPU); every point runs on its own simulation
+// environment, so the printed curves are bit-identical to -parallel 1 —
+// only the wall-clock changes.
 package main
 
 import (
@@ -16,12 +19,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	gridmon "repro"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "shortened measurement windows")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max sweep points measured concurrently (1 = serial)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files to this directory")
 	flag.Parse()
 
@@ -30,7 +35,7 @@ func main() {
 		names = gridmon.ExperimentNames()
 	}
 	for _, name := range names {
-		series, err := gridmon.RunExperiment(name, os.Stdout, *quick)
+		series, err := gridmon.RunExperimentWorkers(name, os.Stdout, *quick, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -215,8 +215,17 @@ func ExperimentNames() []string {
 // Valid names are exp1 (Figures 5–8), exp2 (9–12), exp3 (13–16) and exp4
 // (17–20). quick shortens the measurement window for smoke runs.
 func RunExperiment(name string, w io.Writer, quick bool) ([]experiments.Series, error) {
+	return RunExperimentWorkers(name, w, quick, 1)
+}
+
+// RunExperimentWorkers is RunExperiment with a bounded worker pool
+// measuring up to workers sweep points concurrently (cmd/gridmon-bench's
+// -parallel flag). Each point runs on its own sim.Env, so the series are
+// bit-identical to a serial run — only wall-clock changes.
+func RunExperimentWorkers(name string, w io.Writer, quick bool, workers int) ([]experiments.Series, error) {
 	cal := experiments.DefaultCalibration()
 	par := experiments.PaperParams()
+	par.Workers = workers
 	userXs := experiments.UserCounts
 	collXs := experiments.CollectorCounts
 	xsAll := []int{10, 50, 100, 150, 200}
@@ -225,6 +234,7 @@ func RunExperiment(name string, w io.Writer, quick bool) ([]experiments.Series, 
 	xsHier := []int{50, 100, 200, 300}
 	if quick {
 		par = experiments.QuickParams()
+		par.Workers = workers
 		userXs = []int{1, 50, 200, 600}
 		collXs = []int{10, 50, 90}
 		xsAll = []int{10, 100, 200}

@@ -58,7 +58,13 @@ func (a *Ad) SetExprString(name, src string) error {
 
 // Lookup returns the expression bound to name (case-insensitive).
 func (a *Ad) Lookup(name string) (Expr, bool) {
-	e, ok := a.attrs[strings.ToLower(name)]
+	return a.lookupLower(strings.ToLower(name))
+}
+
+// lookupLower is Lookup with an already-lowercased key — the hot path
+// for evaluation, where attribute references precompute their key.
+func (a *Ad) lookupLower(lower string) (Expr, bool) {
+	e, ok := a.attrs[lower]
 	return e.expr, ok
 }
 

@@ -26,31 +26,26 @@ func (ctx *evalCtx) other() *Ad {
 	return ctx.a
 }
 
-func (ctx *evalCtx) descend() (*evalCtx, bool) {
-	if ctx.depth+1 > maxEvalDepth {
-		return nil, false
-	}
-	c := *ctx
-	c.depth++
-	return &c, true
-}
-
 func (a attrRef) eval(ctx *evalCtx) Value {
-	lower := strings.ToLower(a.name)
+	// resolve evaluates the attribute in ad's scope by mutating and
+	// restoring ctx — evaluation is strictly sequential, so reusing the
+	// context avoids an allocation per attribute resolution.
 	resolve := func(ad *Ad) (Value, bool) {
 		if ad == nil {
 			return Undefined(), false
 		}
-		e, ok := ad.Lookup(lower)
+		e, ok := ad.lookupLower(a.lower)
 		if !ok {
 			return Undefined(), false
 		}
-		sub, ok := ctx.descend()
-		if !ok {
+		if ctx.depth+1 > maxEvalDepth {
 			return ErrorValue("attribute recursion limit hit at %q", a.name), true
 		}
-		sub.cur = ad
-		return e.eval(sub), true
+		savedCur, savedDepth := ctx.cur, ctx.depth
+		ctx.cur, ctx.depth = ad, savedDepth+1
+		v := e.eval(ctx)
+		ctx.cur, ctx.depth = savedCur, savedDepth
+		return v, true
 	}
 	switch a.sc {
 	case scopeMy:

@@ -32,9 +32,18 @@ const (
 )
 
 // attrRef is a reference to an attribute, optionally scope-qualified.
+// The lowercased name is resolved once at parse time so evaluation does
+// not re-fold it on every lookup.
 type attrRef struct {
-	sc   scope
-	name string // original spelling, for printing
+	sc    scope
+	name  string // original spelling, for printing
+	lower string // strings.ToLower(name), the Ad lookup key
+}
+
+// newAttrRef builds an attribute reference with its lookup key
+// precomputed.
+func newAttrRef(sc scope, name string) attrRef {
+	return attrRef{sc: sc, name: name, lower: strings.ToLower(name)}
 }
 
 func (a attrRef) String() string {

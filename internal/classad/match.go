@@ -27,14 +27,13 @@ func EvalExprAgainst(e Expr, self, other *Ad) Value {
 	return e.eval(ctx)
 }
 
-// SatisfiedBy reports whether self's Requirements evaluate to true against
-// other. A missing Requirements attribute is trivially satisfied (the ad
-// imposes no constraint); undefined or error results are not satisfied.
-func SatisfiedBy(self, other *Ad) bool {
-	if _, ok := self.Lookup(AttrRequirements); !ok {
-		return true
-	}
-	v := EvalAgainst(self, other, AttrRequirements)
+// attrRequirementsLower is Requirements' precomputed lookup key.
+const attrRequirementsLower = "requirements"
+
+// satisfied interprets an evaluated Requirements value: booleans count
+// directly, numbers count as non-zero, undefined and error do not
+// satisfy.
+func satisfied(v Value) bool {
 	b, ok := v.BoolVal()
 	if !ok {
 		if n, isNum := v.Number(); isNum {
@@ -45,12 +44,90 @@ func SatisfiedBy(self, other *Ad) bool {
 	return b
 }
 
+// SatisfiedBy reports whether self's Requirements evaluate to true against
+// other. A missing Requirements attribute is trivially satisfied (the ad
+// imposes no constraint); undefined or error results are not satisfied.
+func SatisfiedBy(self, other *Ad) bool {
+	req, ok := self.lookupLower(attrRequirementsLower)
+	if !ok {
+		return true
+	}
+	ctx := evalCtx{a: self, b: other, cur: self}
+	return satisfied(req.eval(&ctx))
+}
+
 // Match reports whether the two ads match symmetrically: each ad's
 // Requirements must be satisfied by the other. This is the ClassAd
 // Matchmaking operation the Hawkeye Manager performs between Trigger
 // ClassAds and Startd ClassAds.
 func Match(a, b *Ad) bool {
 	return SatisfiedBy(a, b) && SatisfiedBy(b, a)
+}
+
+// CompiledMatch is one fixed ad prepared for repeated matchmaking: its
+// Requirements expression is resolved once instead of on every Match,
+// and the evaluation context is reused across candidates. The Hawkeye
+// Manager compiles each submitted Trigger once and re-runs it against
+// every advertised Startd ClassAd. Not safe for concurrent use — each
+// goroutine needs its own CompiledMatch.
+type CompiledMatch struct {
+	self *Ad
+	req  Expr // self's Requirements; nil when the ad imposes none
+	ctx  evalCtx
+}
+
+// CompileMatch prepares self for repeated matching. The ad must not be
+// mutated afterwards (replace the CompiledMatch instead).
+func CompileMatch(self *Ad) *CompiledMatch {
+	cm := &CompiledMatch{self: self}
+	if e, ok := self.lookupLower(attrRequirementsLower); ok {
+		cm.req = e
+	}
+	return cm
+}
+
+// Matches reports whether self and other match symmetrically, exactly as
+// Match(self, other) would, short-circuiting on the precompiled side
+// first.
+func (cm *CompiledMatch) Matches(other *Ad) bool {
+	if cm.req != nil {
+		cm.ctx = evalCtx{a: cm.self, b: other, cur: cm.self}
+		if !satisfied(cm.req.eval(&cm.ctx)) {
+			return false
+		}
+	}
+	oreq, ok := other.lookupLower(attrRequirementsLower)
+	if !ok {
+		return true
+	}
+	cm.ctx = evalCtx{a: other, b: cm.self, cur: other}
+	return satisfied(oreq.eval(&cm.ctx))
+}
+
+// CompiledConstraint is a constraint expression prepared for evaluation
+// against many candidate ads — the Hawkeye Manager's pool-scan query.
+// Semantics are exactly EvalExprAgainst(expr, empty, candidate) with a
+// strict boolean test, the Manager's historical behavior. Not safe for
+// concurrent use.
+type CompiledConstraint struct {
+	expr  Expr
+	empty *Ad
+	ctx   evalCtx
+}
+
+// CompileConstraint prepares a constraint expression.
+func CompileConstraint(e Expr) *CompiledConstraint {
+	return &CompiledConstraint{expr: e, empty: NewAd()}
+}
+
+// SatisfiedBy reports whether the candidate satisfies the constraint:
+// the expression must evaluate to boolean true (numbers, undefined and
+// error do not count).
+func (cc *CompiledConstraint) SatisfiedBy(candidate *Ad) bool {
+	cc.ctx = evalCtx{a: cc.empty, b: candidate, cur: cc.empty}
+	v := cc.expr.eval(&cc.ctx)
+	b, ok := v.BoolVal()
+	return ok && b
 }
 
 // RankOf evaluates self's Rank against other as a float. Missing,

@@ -295,9 +295,9 @@ func (p *parser) parseIdent() (Expr, error) {
 			if lower == "target" {
 				sc = scopeTarget
 			}
-			return attrRef{sc: sc, name: at.text}, nil
+			return newAttrRef(sc, at.text), nil
 		}
-		return attrRef{sc: scopeNone, name: t.text}, nil
+		return newAttrRef(scopeNone, t.text), nil
 	}
 	if p.peek().kind == tokLParen {
 		p.advance()
@@ -323,7 +323,7 @@ func (p *parser) parseIdent() (Expr, error) {
 		}
 		return call{name: t.text, args: args}, nil
 	}
-	return attrRef{sc: scopeNone, name: t.text}, nil
+	return newAttrRef(scopeNone, t.text), nil
 }
 
 func (p *parser) parseList() (Expr, error) {

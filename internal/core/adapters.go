@@ -37,6 +37,8 @@ func MDSWork(st mds.QueryStats) Work {
 		RecordsVisited:       st.EntriesVisited,
 		RecordsReturned:      st.EntriesReturned,
 		ResponseBytes:        st.ResponseBytes,
+		IndexHits:            st.IndexHits,
+		ScanFallbacks:        st.ScanFallbacks,
 	}
 }
 
@@ -128,6 +130,8 @@ func RGMAWork(st rgma.QueryStats) Work {
 		Subqueries:      st.ProducersContacted + st.RegistryLookups,
 		ThreadSpawns:    st.ThreadSpawns,
 		ResponseBytes:   st.ResponseBytes,
+		IndexHits:       st.IndexHits,
+		ScanFallbacks:   st.ScanFallbacks,
 	}
 }
 
@@ -206,6 +210,8 @@ func HawkeyeWork(st hawkeye.QueryStats) Work {
 		RecordsVisited:       st.AdsScanned,
 		RecordsReturned:      st.AdsReturned,
 		ResponseBytes:        st.ResponseBytes,
+		IndexHits:            st.IndexHits,
+		ScanFallbacks:        st.ScanFallbacks,
 	}
 }
 

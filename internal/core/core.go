@@ -76,6 +76,16 @@ type Work struct {
 	ThreadSpawns int
 	// ResponseBytes is the response payload size.
 	ResponseBytes int
+	// IndexHits counts records fetched from an index fast path (LDAP
+	// attribute postings, SQL hash buckets, the Manager's name index)
+	// instead of a scan. RecordsVisited still reports the logical scan
+	// cost either way — IndexHits is how `gridmon-query -o json` shows
+	// whether the fast path ran, it does not change simulated CPU.
+	IndexHits int
+	// ScanFallbacks counts sub-queries answered by a full scan because
+	// no index applied (non-indexable filter, or an inherently
+	// scan-everything request).
+	ScanFallbacks int
 }
 
 // Add accumulates o into w.
@@ -86,6 +96,8 @@ func (w *Work) Add(o Work) {
 	w.Subqueries += o.Subqueries
 	w.ThreadSpawns += o.ThreadSpawns
 	w.ResponseBytes += o.ResponseBytes
+	w.IndexHits += o.IndexHits
+	w.ScanFallbacks += o.ScanFallbacks
 }
 
 // Component is anything occupying a Table 1 role.

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shortParams keeps the parallel-equivalence sweep affordable: enough
+// simulated time for non-trivial points, far less than a full window.
+func shortParams() Params {
+	return Params{Warmup: 10, Window: 60, Interval: 5}
+}
+
+// TestRunSeriesParallelDeterministic is the worker-pool contract: every
+// point builds its own sim.Env, so a parallel sweep must produce exactly
+// the series a serial sweep produces — same order, same values.
+func TestRunSeriesParallelDeterministic(t *testing.T) {
+	cal := DefaultCalibration()
+	build := BuildGRISUsers(cal, true)
+	xs := []int{1, 10, 50, 100}
+
+	serial := shortParams()
+	serial.Workers = 1
+	want := RunSeries("gris", build, xs, serial)
+
+	for _, workers := range []int{2, 4, 8} {
+		par := shortParams()
+		par.Workers = workers
+		got := RunSeries("gris", build, xs, par)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: parallel series diverged from serial\ngot:  %+v\nwant: %+v",
+				workers, got, want)
+		}
+	}
+}
+
+// TestRunSeriesWorkersExceedPoints checks the pool clamps cleanly when
+// there are more workers than sweep points.
+func TestRunSeriesWorkersExceedPoints(t *testing.T) {
+	cal := DefaultCalibration()
+	par := shortParams()
+	par.Workers = 16
+	s := RunSeries("gris", BuildGRISUsers(cal, true), []int{1, 10}, par)
+	if len(s.Points) != 2 || s.Points[0].X != 1 || s.Points[1].X != 10 {
+		t.Fatalf("unexpected points: %+v", s.Points)
+	}
+}

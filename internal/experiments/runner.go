@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -18,6 +19,12 @@ type Params struct {
 	Warmup   float64
 	Window   float64
 	Interval float64
+	// Workers bounds how many sweep points RunSeries measures
+	// concurrently. Every point builds its own sim.Env (clock, event
+	// queue, RNGs), so points are independent and each point's result is
+	// bit-identical to a serial run — only wall-clock changes. Zero or
+	// one means serial.
+	Workers int
 }
 
 // PaperParams is the measurement configuration the paper used.
@@ -103,12 +110,40 @@ func RunPoint(build Builder, x int, par Params) Point {
 	}
 }
 
-// RunSeries measures one labelled curve over the given x values.
+// RunSeries measures one labelled curve over the given x values. With
+// par.Workers > 1 the points are measured by a bounded worker pool —
+// the standard dynamic-load-balancing recipe for embarrassingly
+// parallel point evaluations — and the returned series is ordered and
+// valued exactly as a serial run.
 func RunSeries(label string, build Builder, xs []int, par Params) Series {
 	s := Series{Label: label}
-	for _, x := range xs {
-		s.Points = append(s.Points, RunPoint(build, x, par))
+	workers := par.Workers
+	if workers > len(xs) {
+		workers = len(xs)
 	}
+	if workers <= 1 {
+		for _, x := range xs {
+			s.Points = append(s.Points, RunPoint(build, x, par))
+		}
+		return s
+	}
+	s.Points = make([]Point, len(xs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.Points[i] = RunPoint(build, xs[i], par)
+			}
+		}()
+	}
+	for i := range xs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return s
 }
 

@@ -29,6 +29,10 @@ type QueryStats struct {
 	AdsReturned int
 	// ResponseBytes is the unparsed size of the result.
 	ResponseBytes int
+	// IndexHits counts ads served through the Manager's name index.
+	IndexHits int
+	// ScanFallbacks counts queries that scanned the full pool.
+	ScanFallbacks int
 }
 
 // Add accumulates other into s.
@@ -38,6 +42,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.AdsScanned += other.AdsScanned
 	s.AdsReturned += other.AdsReturned
 	s.ResponseBytes += other.ResponseBytes
+	s.IndexHits += other.IndexHits
+	s.ScanFallbacks += other.ScanFallbacks
 }
 
 // Agent is a Hawkeye Monitoring Agent: it runs on a pool member, collects

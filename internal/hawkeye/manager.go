@@ -17,6 +17,21 @@ type Trigger struct {
 	// Fire is invoked for each Startd ClassAd the trigger matches. The
 	// string is the matched machine's Name attribute.
 	Fire func(machine string, ad *classad.Ad)
+
+	// compiled is the trigger ad prepared for repeated matchmaking,
+	// built by SubmitTrigger so every subsequent Update matches without
+	// re-resolving the Requirements expression. Guarded by the Manager's
+	// lock.
+	compiled *classad.CompiledMatch
+}
+
+// matches runs the trigger's matchmaking against a Startd ClassAd,
+// compiling on first use for triggers constructed outside SubmitTrigger.
+func (tr *Trigger) matches(ad *classad.Ad) bool {
+	if tr.compiled == nil {
+		tr.compiled = classad.CompileMatch(tr.Ad)
+	}
+	return tr.compiled.Matches(ad)
 }
 
 // Manager is the head computer of a Hawkeye Pool: it collects Startd
@@ -97,7 +112,7 @@ func (m *Manager) Update(now float64, ad *classad.Ad) (int, error) {
 	rec.expires = now + m.AdLifetime
 	var firings []firing
 	for _, tr := range m.triggers {
-		if classad.Match(tr.Ad, ad) {
+		if tr.matches(ad) {
 			firings = append(firings, firing{tr: tr, machine: name, ad: ad})
 		}
 	}
@@ -133,28 +148,30 @@ func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats
 	if !ok {
 		return nil, QueryStats{}, false
 	}
-	st := QueryStats{AdsReturned: 1, ResponseBytes: rec.ad.SizeBytes()}
+	st := QueryStats{AdsReturned: 1, ResponseBytes: rec.ad.SizeBytes(), IndexHits: 1}
 	return rec.ad, st, true
 }
 
 // Query scans every Startd ClassAd and returns those matching the
 // constraint expression. A nil constraint returns everything. The paper's
-// worst case — a constraint met by no machine — still scans the full pool.
+// worst case — a constraint met by no machine — still scans the full
+// pool; the constraint is compiled once per query so the scan does not
+// re-resolve its attribute references per machine.
 func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, QueryStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.expire(now)
-	var st QueryStats
+	st := QueryStats{ScanFallbacks: 1}
 	var out []*classad.Ad
-	empty := classad.NewAd()
+	var cc *classad.CompiledConstraint
+	if constraint != nil {
+		cc = classad.CompileConstraint(constraint)
+	}
 	for _, key := range m.order {
 		rec := m.ads[key]
 		st.AdsScanned++
-		if constraint != nil {
-			v := classad.EvalExprAgainst(constraint, empty, rec.ad)
-			if b, ok := v.BoolVal(); !ok || !b {
-				continue
-			}
+		if cc != nil && !cc.SatisfiedBy(rec.ad) {
+			continue
 		}
 		out = append(out, rec.ad)
 		st.AdsReturned++
@@ -169,11 +186,12 @@ func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, Qu
 func (m *Manager) SubmitTrigger(now float64, tr *Trigger) int {
 	m.mu.Lock()
 	m.expire(now)
+	tr.compiled = classad.CompileMatch(tr.Ad)
 	m.triggers = append(m.triggers, tr)
 	var firings []firing
 	for _, key := range m.order {
 		rec := m.ads[key]
-		if classad.Match(tr.Ad, rec.ad) {
+		if tr.matches(rec.ad) {
 			firings = append(firings, firing{tr: tr, machine: rec.name, ad: rec.ad})
 		}
 	}

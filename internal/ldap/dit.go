@@ -33,9 +33,25 @@ func (s Scope) String() string {
 // DIT is a Directory Information Tree — the in-memory backend a GRIS or
 // GIIS serves from. It is not safe for concurrent mutation; the services
 // built on it serialize access the way a single slapd backend does.
+//
+// Every entry is indexed by attribute value on insert (see index.go), so
+// equality, presence and range filters are served from postings instead
+// of subtree walks. Entries belong to the tree once added: mutating an
+// Entry in place after Add leaves the index stale — replace it with
+// Upsert instead.
 type DIT struct {
 	entries  map[string]*Entry   // normalized DN -> entry
 	children map[string][]string // normalized parent DN -> child keys, insertion order
+
+	ids       map[string]int // entry key -> id
+	byID      []*Entry       // id -> entry (nil when freed)
+	keyByID   []string       // id -> entry key
+	freeIDs   []int
+	idx       map[string]*attrIndex       // lowercase attr -> postings
+	indexed   map[int]map[string][]string // id -> indexed value snapshot
+	counts    map[string]int              // normalized DN -> subtree entry count
+	ords      []int                       // id -> global DFS position
+	ordsValid bool
 }
 
 // NewDIT returns an empty tree containing only the implicit root.
@@ -43,6 +59,10 @@ func NewDIT() *DIT {
 	return &DIT{
 		entries:  make(map[string]*Entry),
 		children: make(map[string][]string),
+		ids:      make(map[string]int),
+		idx:      make(map[string]*attrIndex),
+		indexed:  make(map[int]map[string][]string),
+		counts:   make(map[string]int),
 	}
 }
 
@@ -79,15 +99,22 @@ func (t *DIT) link(e *Entry) {
 	t.entries[key] = e
 	parent := e.DN.Parent().Norm()
 	t.children[parent] = append(t.children[parent], key)
+	t.indexEntry(t.allocID(key, e), e)
+	t.bumpCounts(e.DN, 1)
+	t.ordsValid = false
 }
 
 // Upsert inserts or replaces the entry at its DN.
 func (t *DIT) Upsert(e *Entry) {
 	key := e.DN.Norm()
 	if old, ok := t.entries[key]; ok {
-		// Keep tree links, replace content.
+		// Keep tree links, replace content. Structure is unchanged so the
+		// DFS ordinals survive; only the value postings are refreshed.
+		id := t.ids[key]
+		t.unindexEntry(id)
 		*old = *e.Clone()
 		old.DN = e.DN
+		t.indexEntry(id, old)
 		return
 	}
 	if err := t.Add(e); err != nil {
@@ -118,10 +145,20 @@ func (t *DIT) Delete(dn DN) int {
 		delete(t.children, k)
 		if _, ok := t.entries[k]; ok {
 			delete(t.entries, k)
+			t.unindexEntry(t.ids[k])
+			t.freeID(k)
+			delete(t.counts, k)
 			removed++
 		}
 	}
 	rec(key)
+	for d := dn.Parent(); ; d = d.Parent() {
+		t.counts[d.Norm()] -= removed
+		if len(d) == 0 {
+			break
+		}
+	}
+	t.ordsValid = false
 	// Unlink from parent.
 	parent := dn.Parent().Norm()
 	kids := t.children[parent]
@@ -148,15 +185,35 @@ func (t *DIT) Children(dn DN) []*Entry {
 
 // Search walks the tree from base with the given scope and returns entries
 // matching filter, in deterministic (depth-first insertion) order. A nil
-// filter matches everything. The returned visited count is the number of
-// entries examined — the quantity the testbed charges CPU for.
-func (t *DIT) Search(base DN, scope Scope, filter Filter) (results []*Entry, visited int) {
+// filter matches everything. The returned visited count is the logical
+// scan cost — the number of entries a subtree walk examines, the quantity
+// the testbed charges CPU for — and is identical whether the filter was
+// served from the index or by scanning (see SearchStats).
+func (t *DIT) Search(base DN, scope Scope, filter Filter) ([]*Entry, int) {
+	results, info := t.SearchStats(base, scope, filter)
+	return results, info.Visited
+}
+
+// SearchStats is Search with execution-path accounting. Subtree searches
+// with an indexable filter (equality, presence, >=/<= and AND/OR
+// combinations of them — see planFilter) are answered from attribute
+// postings; everything else walks the subtree. Both paths return exactly
+// the same entries in the same depth-first order, and both report the
+// same Visited count; Info.IndexHits and Info.Scanned record which path
+// ran.
+func (t *DIT) SearchStats(base DN, scope Scope, filter Filter) (results []*Entry, info SearchInfo) {
 	baseEntry, ok := t.Get(base)
 	if !ok && base.Depth() > 0 {
-		return nil, 0
+		return nil, SearchInfo{}
 	}
+	if scope == ScopeSub && filter != nil {
+		if plan, _, planned := t.planFilter(filter); planned {
+			return t.searchIndexed(base, plan, filter)
+		}
+	}
+	info.Scanned = true
 	match := func(e *Entry) {
-		visited++
+		info.Visited++
 		if filter == nil || filter.Matches(e) {
 			results = append(results, e)
 		}
@@ -189,7 +246,7 @@ func (t *DIT) Search(base DN, scope Scope, filter Filter) (results []*Entry, vis
 			rec(base.Norm())
 		}
 	}
-	return results, visited
+	return results, info
 }
 
 // DNs returns every entry DN in sorted normalized order, for stable test

@@ -177,7 +177,7 @@ func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, at
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
-	results, visited := g.dit.Search(SuffixDN, ldap.ScopeSub, filter)
+	results, info := g.dit.SearchStats(SuffixDN, ldap.ScopeSub, filter)
 	// Structural glue entries materialized for tree shape are not data.
 	data := results[:0]
 	for _, e := range results {
@@ -186,9 +186,13 @@ func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, at
 		}
 	}
 	results = ldap.ProjectAll(data, attrs)
-	st.EntriesVisited += visited
+	st.EntriesVisited += info.Visited
 	st.EntriesReturned += len(results)
 	st.ResponseBytes += ldap.SizeBytes(results)
+	st.IndexHits += info.IndexHits
+	if info.Scanned {
+		st.ScanFallbacks++
+	}
 	return results, st, nil
 }
 

@@ -19,6 +19,11 @@ type QueryStats struct {
 	EntriesReturned int
 	// ResponseBytes is the LDIF size of the result.
 	ResponseBytes int
+	// IndexHits counts entries served from the DIT's attribute postings
+	// (EntriesVisited still reports the logical scan cost either way).
+	IndexHits int
+	// ScanFallbacks counts searches answered by a subtree walk.
+	ScanFallbacks int
 }
 
 // Add accumulates other into s.
@@ -28,6 +33,8 @@ func (s *QueryStats) Add(other QueryStats) {
 	s.EntriesVisited += other.EntriesVisited
 	s.EntriesReturned += other.EntriesReturned
 	s.ResponseBytes += other.ResponseBytes
+	s.IndexHits += other.IndexHits
+	s.ScanFallbacks += other.ScanFallbacks
 }
 
 // GRIS is a Grid Resource Information Service: the resource-level
@@ -102,11 +109,15 @@ func (g *GRIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.E
 			st.Add(g.refresh(i, now))
 		}
 	}
-	results, visited := g.dit.Search(hostDN(g.Host), ldap.ScopeSub, filter)
+	results, info := g.dit.SearchStats(hostDN(g.Host), ldap.ScopeSub, filter)
 	results = ldap.ProjectAll(results, attrs)
-	st.EntriesVisited += visited
+	st.EntriesVisited += info.Visited
 	st.EntriesReturned += len(results)
 	st.ResponseBytes += ldap.SizeBytes(results)
+	st.IndexHits += info.IndexHits
+	if info.Scanned {
+		st.ScanFallbacks++
+	}
 	return results, st
 }
 

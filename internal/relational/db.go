@@ -9,6 +9,8 @@ import (
 // DB is a named collection of tables.
 type DB struct {
 	tables map[string]*Table
+	stmts  map[string]Statement   // Exec's parsed-statement cache
+	plans  map[string]*selectPlan // Exec's compiled SELECT plans
 	// MaxRowsPerTable, when positive, applies a row cap to newly created
 	// tables (see Table.MaxRows).
 	MaxRowsPerTable int
@@ -63,9 +65,18 @@ type Result struct {
 	Rows    [][]Value
 	// Affected counts inserted or deleted rows for write statements.
 	Affected int
-	// Scanned counts the rows examined, the executor's work measure that
-	// the testbed charges CPU for.
+	// Scanned counts the logical scan cost: the rows a scan-based
+	// executor examines, the work measure the testbed charges CPU for.
+	// It is identical whether the planner served the predicate from a
+	// hash index or by scanning, so simulated results are independent of
+	// the execution strategy.
 	Scanned int
+	// IndexHits counts the candidate rows fetched from hash-index
+	// postings when the planner took the fast path (0 on a scan).
+	IndexHits int
+	// Indexed reports that the planner served the predicate from a hash
+	// index (IndexHits may legitimately be 0 on an empty bucket).
+	Indexed bool
 }
 
 // SizeBytes estimates the result's wire size.
@@ -77,14 +88,53 @@ func (r *Result) SizeBytes() int {
 	return n + SizeBytes(r.Rows)
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement. Parsed statements — and,
+// for SELECTs, their compiled plans — are cached by source text
+// (statements are immutable once parsed), so the monitoring pattern —
+// the same query re-issued every few seconds — skips the lexer, the
+// predicate compiler and the planner after the first execution. A
+// cached plan is dropped when its table identity changes (DROP +
+// CREATE).
 func (db *DB) Exec(src string) (*Result, error) {
-	st, err := Parse(src)
+	st, ok := db.stmts[src]
+	if !ok {
+		var err error
+		st, err = Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if db.stmts == nil {
+			db.stmts = make(map[string]Statement)
+		}
+		if len(db.stmts) >= maxCachedStmts {
+			db.stmts = make(map[string]Statement)
+			db.plans = nil
+		}
+		db.stmts[src] = st
+	}
+	sel, isSel := st.(SelectStmt)
+	if !isSel {
+		return db.Run(st)
+	}
+	if p, ok := db.plans[src]; ok {
+		if cur, exists := db.Table(sel.Table); exists && cur == p.table {
+			return p.exec(sel)
+		}
+	}
+	p, err := db.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return db.Run(st)
+	if db.plans == nil {
+		db.plans = make(map[string]*selectPlan)
+	}
+	db.plans[src] = p
+	return p.exec(sel)
 }
+
+// maxCachedStmts bounds the per-DB statement cache; hitting the cap
+// (distinct one-off statements, not the monitoring pattern) resets it.
+const maxCachedStmts = 256
 
 // Run executes a parsed statement.
 func (db *DB) Run(st Statement) (*Result, error) {
@@ -138,28 +188,50 @@ func (db *DB) runInsert(s InsertStmt) (*Result, error) {
 	return &Result{Affected: 1}, nil
 }
 
-func (db *DB) runSelect(s SelectStmt) (*Result, error) {
-	t, ok := db.Table(s.Table)
-	if !ok {
-		return nil, fmt.Errorf("relational: no table %q", s.Table)
-	}
-	// Projection plan.
-	var colIdx []int
-	var colNames []string
+// projectionPlan resolves the SELECT column list against the table.
+func projectionPlan(t *Table, s SelectStmt) (colIdx []int, colNames []string, err error) {
 	if len(s.Columns) == 0 {
 		for i, c := range t.Schema.Columns {
 			colIdx = append(colIdx, i)
 			colNames = append(colNames, c.Name)
 		}
-	} else {
-		for _, cn := range s.Columns {
-			ci := t.Schema.ColIndex(cn)
-			if ci < 0 {
-				return nil, fmt.Errorf("relational: no column %q in %q", cn, s.Table)
-			}
-			colIdx = append(colIdx, ci)
-			colNames = append(colNames, t.Schema.Columns[ci].Name)
+		return colIdx, colNames, nil
+	}
+	for _, cn := range s.Columns {
+		ci := t.Schema.ColIndex(cn)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("relational: no column %q in %q", cn, s.Table)
 		}
+		colIdx = append(colIdx, ci)
+		colNames = append(colNames, t.Schema.Columns[ci].Name)
+	}
+	return colIdx, colNames, nil
+}
+
+// runSelect executes a SELECT through the planner (plan.go): compiled
+// predicates, a hash-index probe for provably safe equality conjuncts,
+// and top-k selection for ORDER BY + LIMIT. It returns exactly what the
+// naive executor (runSelectScan, kept as the differential-test oracle)
+// returns, with the same Scanned accounting.
+func (db *DB) runSelect(s SelectStmt) (*Result, error) {
+	p, err := db.planSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	return p.exec(s)
+}
+
+// runSelectScan is the naive evaluate-every-row executor the planner
+// replaced. It is retained as the oracle for the differential tests in
+// plan_test.go: the planner must return byte-identical results.
+func (db *DB) runSelectScan(s SelectStmt) (*Result, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	colIdx, colNames, err := projectionPlan(t, s)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{Columns: colNames}
 	var matched [][]Value

@@ -122,32 +122,9 @@ func (e cmpExpr) Eval(s *Schema, row []Value) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if e.op == "LIKE" {
-		ls, rs := l.S, r.S
-		if l.Type != StringType || r.Type != StringType {
-			return false, fmt.Errorf("relational: LIKE needs strings")
-		}
-		return likeMatch(rs, ls), nil
-	}
-	cmp, err := l.Compare(r)
-	if err != nil {
-		return false, err
-	}
-	switch e.op {
-	case "=":
-		return cmp == 0, nil
-	case "!=":
-		return cmp != 0, nil
-	case "<":
-		return cmp < 0, nil
-	case "<=":
-		return cmp <= 0, nil
-	case ">":
-		return cmp > 0, nil
-	case ">=":
-		return cmp >= 0, nil
-	}
-	return false, fmt.Errorf("relational: bad operator %q", e.op)
+	// evalCmp (plan.go) is shared with the compiled predicate so the two
+	// execution paths cannot diverge.
+	return evalCmp(e.op, l, r)
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any single char).

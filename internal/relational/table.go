@@ -45,6 +45,11 @@ type Table struct {
 	rows    [][]Value
 	// index maps an indexed column position to value-key -> row numbers.
 	index map[int]map[string][]int
+	// eqProbes counts equality SELECTs per un-indexed column; the
+	// planner auto-builds an index only on the second probe, so a
+	// throwaway table queried once (R-GMA's per-query scratch DB) never
+	// pays an O(rows) index build for a single lookup.
+	eqProbes map[int]int
 }
 
 // NewTable creates an empty table.
@@ -73,7 +78,27 @@ func (t *Table) CreateIndex(col string) error {
 	return nil
 }
 
-func indexKey(v Value) string { return strings.ToLower(v.String()) }
+// indexKey is the hash key for one value: case-folded so string lookups
+// are case-insensitive supersets of Compare equality, with negative zero
+// normalized so -0.0 and +0.0 (numerically equal to Compare) share a
+// bucket.
+func indexKey(v Value) string {
+	if v.Type == RealType && v.R == 0 {
+		return "0"
+	}
+	return strings.ToLower(v.String())
+}
+
+// ensureIndex builds the hash index on column position ci if it does not
+// exist yet — the SELECT planner's auto-indexing of predicate columns.
+func (t *Table) ensureIndex(ci int) {
+	if _, ok := t.index[ci]; !ok {
+		// ci came from ColIndex, so CreateIndex cannot fail.
+		if err := t.CreateIndex(t.Schema.Columns[ci].Name); err != nil {
+			panic(err)
+		}
+	}
+}
 
 // Len reports the number of rows.
 func (t *Table) Len() int { return len(t.rows) }

@@ -23,6 +23,11 @@ type QueryStats struct {
 	// ThreadSpawns counts servlet worker threads created (the Java
 	// overhead the paper blames for the Registry's lower throughput).
 	ThreadSpawns int
+	// IndexHits counts rows fetched from hash-index postings
+	// (RowsScanned still reports the logical scan cost either way).
+	IndexHits int
+	// ScanFallbacks counts SELECTs executed without a usable index.
+	ScanFallbacks int
 }
 
 // Add accumulates other into s.
@@ -33,6 +38,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.ProducersContacted += o.ProducersContacted
 	s.RegistryLookups += o.RegistryLookups
 	s.ThreadSpawns += o.ThreadSpawns
+	s.IndexHits += o.IndexHits
+	s.ScanFallbacks += o.ScanFallbacks
 }
 
 // Registry is R-GMA's directory: producer advertisements held in an
@@ -118,6 +125,7 @@ func (r *Registry) LookupProducersStats(table string, now float64) ([]gma.Advert
 	if !indexed {
 		return nil, st, fmt.Errorf("rgma: registry index missing")
 	}
+	st.IndexHits = len(rows) // served from the table-name hash index
 	var out []gma.Advertisement
 	for _, row := range rows {
 		st.RowsScanned++

@@ -93,6 +93,10 @@ func (ps *ProducerServlet) Query(now float64, sql string) (*relational.Result, Q
 	st.RowsScanned += res.Scanned
 	st.RowsReturned += len(res.Rows)
 	st.ResponseBytes += res.SizeBytes()
+	st.IndexHits += res.IndexHits
+	if !res.Indexed {
+		st.ScanFallbacks++
+	}
 	return res, st, nil
 }
 

@@ -17,6 +17,7 @@ import (
 type Env struct {
 	now      float64
 	events   eventHeap
+	free     []*event // recycled events; see allocEvent/recycle
 	seq      uint64
 	yielded  chan struct{}
 	procs    []*Proc
@@ -62,14 +63,39 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// allocEvent takes an event from the free list (or allocates one) and
+// stamps it with a fresh sequence number. A simulation schedules one
+// event per Sleep, per Signal release and per timer — recycling them
+// keeps the kernel's steady-state allocation rate flat no matter how
+// long the run is.
+func (e *Env) allocEvent(t float64, fn func()) *event {
+	e.seq++
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	*ev = event{t: t, seq: e.seq, fn: fn}
+	return ev
+}
+
+// recycle returns a popped event to the free list. The sequence number is
+// left in place so a stale Timer.Cancel (whose generation check compares
+// it) stays a no-op until the slot is reused and restamped.
+func (e *Env) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // schedule enqueues fn to run at absolute time t. Scheduling in the past
 // panics: it always indicates a bug in the caller.
 func (e *Env) schedule(t float64, fn func()) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	e.seq++
-	ev := &event{t: t, seq: e.seq, fn: fn}
+	ev := e.allocEvent(t, fn)
 	heap.Push(&e.events, ev)
 	return ev
 }
@@ -80,16 +106,22 @@ func (e *Env) After(d float64, fn func()) *Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{ev: e.schedule(e.now+d, fn)}
+	ev := e.schedule(e.now+d, fn)
+	return &Timer{ev: ev, seq: ev.seq}
 }
 
-// Timer is a handle to a scheduled callback.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled callback. It records the event's
+// generation (sequence number) so Cancel cannot touch a recycled event
+// that now carries someone else's callback.
+type Timer struct {
+	ev  *event
+	seq uint64
+}
 
 // Cancel prevents the timer's callback from firing. Canceling an
 // already-fired or already-canceled timer is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
+	if t != nil && t.ev != nil && t.ev.seq == t.seq {
 		t.ev.canceled = true
 	}
 }
@@ -109,10 +141,13 @@ func (e *Env) Run(until float64) {
 		}
 		heap.Pop(&e.events)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.t
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	if e.now < until {
 		e.now = until
@@ -130,10 +165,13 @@ func (e *Env) RunAll() {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.t
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 	}
 	e.running = false
 	e.shutdown()
@@ -167,6 +205,7 @@ type Proc struct {
 	env      *Env
 	name     string
 	resume   chan struct{}
+	resumeFn func() // allocated once; Sleep's wakeup callback
 	started  bool
 	finished bool
 	kill     bool
@@ -185,6 +224,7 @@ func (p *Proc) Now() float64 { return p.env.now }
 // Go starts fn as a new process at the current simulation time.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	p.resumeFn = func() { e.resumeProc(p) }
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume
@@ -234,7 +274,7 @@ func (p *Proc) Sleep(d float64) {
 		d = 0
 	}
 	e := p.env
-	e.schedule(e.now+d, func() { e.resumeProc(p) })
+	e.schedule(e.now+d, p.resumeFn)
 	p.park()
 }
 

@@ -3,10 +3,17 @@ package sim
 // Queue is a FIFO channel between simulation processes. A zero or negative
 // capacity means unbounded. Get blocks when the queue is empty; Put blocks
 // when a bounded queue is full.
+//
+// The buffer is a ring: Get advances a head cursor instead of re-slicing
+// the backing array, so a long-running queue reaches a steady state with
+// zero allocation churn (the old head-slice implementation retained the
+// full backing array and re-allocated it once per trip around).
 type Queue struct {
 	env      *Env
 	cap      int
-	items    []interface{}
+	buf      []interface{}
+	head     int // index of the oldest item
+	n        int // number of queued items
 	notEmpty *Signal
 	notFull  *Signal
 }
@@ -22,35 +29,58 @@ func NewQueue(env *Env, capacity int) *Queue {
 }
 
 // Len reports the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue) Len() int { return q.n }
+
+// push appends v to the ring, growing the buffer when full.
+func (q *Queue) push(v interface{}) {
+	if q.n == len(q.buf) {
+		grown := make([]interface{}, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+// pop removes and returns the oldest item. The vacated slot is cleared so
+// the queue does not pin delivered items against garbage collection.
+func (q *Queue) pop() interface{} {
+	v := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
 
 // TryPut appends v if the queue has room, reporting whether it did.
 func (q *Queue) TryPut(v interface{}) bool {
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.n >= q.cap {
 		return false
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Notify()
 	return true
 }
 
 // Put appends v, blocking while a bounded queue is full.
 func (q *Queue) Put(p *Proc, v interface{}) {
-	for q.cap > 0 && len(q.items) >= q.cap {
+	for q.cap > 0 && q.n >= q.cap {
 		q.notFull.Wait(p)
 	}
-	q.items = append(q.items, v)
+	q.push(v)
 	q.notEmpty.Notify()
 }
 
 // Get removes and returns the oldest item, blocking while the queue is
 // empty.
 func (q *Queue) Get(p *Proc) interface{} {
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		q.notEmpty.Wait(p)
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Notify()
 	return v
 }
@@ -59,14 +89,13 @@ func (q *Queue) Get(p *Proc) interface{} {
 // false) on timeout.
 func (q *Queue) GetTimeout(p *Proc, d float64) (interface{}, bool) {
 	deadline := q.env.now + d
-	for len(q.items) == 0 {
+	for q.n == 0 {
 		remain := deadline - q.env.now
 		if remain <= 0 || !q.notEmpty.WaitTimeout(p, remain) {
 			return nil, false
 		}
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
+	v := q.pop()
 	q.notFull.Notify()
 	return v, true
 }

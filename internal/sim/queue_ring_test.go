@@ -1,0 +1,123 @@
+package sim
+
+import "testing"
+
+// TestQueueRingFIFO drives the ring buffer through many grow/wrap cycles
+// and checks strict FIFO delivery.
+func TestQueueRingFIFO(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, 0)
+	next := 0
+	got := 0
+	env.Go("producer", func(p *Proc) {
+		for i := 0; i < 500; i++ {
+			q.Put(p, next)
+			next++
+			if i%7 == 0 {
+				p.Sleep(1)
+			}
+		}
+	})
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < 500; i++ {
+			v := q.Get(p).(int)
+			if v != got {
+				t.Errorf("got %d, want %d", v, got)
+				return
+			}
+			got++
+		}
+	})
+	env.RunAll()
+	if got != 500 {
+		t.Fatalf("consumed %d items, want 500", got)
+	}
+}
+
+// TestQueueRingSteadyStateBuffer is the regression test for the old
+// items = items[1:] head-slice: with a bounded working set, the ring's
+// backing buffer must reach a small steady-state size instead of
+// re-allocating once per trip through the backing array.
+func TestQueueRingSteadyStateBuffer(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, 0)
+	env.Go("churn", func(p *Proc) {
+		for i := 0; i < 10000; i++ {
+			q.Put(p, i)
+			q.Put(p, i)
+			q.Get(p)
+			q.Get(p)
+		}
+	})
+	env.RunAll()
+	if len(q.buf) > 8 {
+		t.Fatalf("backing buffer grew to %d slots for a working set of 2", len(q.buf))
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d items", q.Len())
+	}
+}
+
+// TestQueueRingBounded checks that capacity enforcement and TryPut
+// survive the ring rewrite, including across wrap-around.
+func TestQueueRingBounded(t *testing.T) {
+	env := NewEnv()
+	q := NewQueue(env, 3)
+	for i := 0; i < 3; i++ {
+		if !q.TryPut(i) {
+			t.Fatalf("TryPut %d refused below capacity", i)
+		}
+	}
+	if q.TryPut(99) {
+		t.Fatal("TryPut accepted beyond capacity")
+	}
+	var order []int
+	env.Go("consumer", func(p *Proc) {
+		for i := 0; i < 6; i++ {
+			order = append(order, q.Get(p).(int))
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		for i := 3; i < 6; i++ {
+			q.Put(p, i)
+		}
+	})
+	env.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestTimerCancelAfterRecycle pins the event-pool generation check: a
+// Timer whose event has fired (and been recycled into a new event) must
+// not cancel the new owner's callback.
+func TestTimerCancelAfterRecycle(t *testing.T) {
+	env := NewEnv()
+	var fired bool
+	stale := env.After(1, func() {})
+	env.Run(2)
+	// The fired event is on the free list; the next After reuses it.
+	env.After(1, func() { fired = true })
+	stale.Cancel() // must not cancel the recycled event's new callback
+	env.Run(4)
+	if !fired {
+		t.Fatal("stale Timer.Cancel canceled a recycled event")
+	}
+}
+
+// TestEventPoolRecycles checks the kernel actually reuses event structs
+// instead of allocating one per schedule.
+func TestEventPoolRecycles(t *testing.T) {
+	env := NewEnv()
+	env.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+		}
+	})
+	env.RunAll()
+	if len(env.free) == 0 {
+		t.Fatal("no events were recycled to the free list")
+	}
+}
