@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race bench bench-json
+.PHONY: all ci fmt vet build test race stress load-smoke bench bench-json bench-compare
 
 all: ci
 
@@ -29,6 +29,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# stress re-runs just the concurrent-serving gates under the race
+# detector: parallel queries mixed with the Advance pump, checked
+# against serialized-oracle snapshots, plus the cache semantics.
+stress:
+	$(GO) test -race -count=2 -run 'Concurrent|QueryCache' .
+
+# load-smoke proves the closed-loop load generator end to end: an
+# in-process server, two users, one second — enough to catch rot without
+# measuring anything.
+load-smoke:
+	$(GO) run ./cmd/gridmon-load -users 2 -duration 1s -advance 250ms -cache 5s
+
 # bench runs every benchmark exactly once — a smoke pass proving the
 # harness works, not a measurement.
 bench:
@@ -40,3 +52,16 @@ bench:
 # with e.g.:  jq -r 'select(.Action=="output") | .Output' BENCH_*.json | grep ns/op
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./... > BENCH_$$(date +%Y-%m-%d).json
+
+# bench-compare runs a fresh benchmark suite and diffs it against a
+# recorded baseline (BASELINE ?= the newest BENCH_*.json), flagging any
+# benchmark whose ns/op regressed more than 20% — or missing from the
+# current run (a crashed suite must not read as a pass; the temp file
+# keeps go test's own failure visible too). Timing on shared hardware is
+# noisy — treat failures as a prompt to re-run, not a CI gate.
+BASELINE ?= $(shell ls -1 BENCH_*.json 2>/dev/null | sort | tail -1)
+bench-compare:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found (run make bench-json first)"; exit 1; }
+	$(GO) test -run '^$$' -bench . -benchmem -json ./... > bench-current.json.tmp
+	$(GO) run ./cmd/gridmon-bench -compare $(BASELINE) -against bench-current.json.tmp; \
+		status=$$?; rm -f bench-current.json.tmp; exit $$status

@@ -1,0 +1,135 @@
+package gridmon
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The facade's opt-in result cache, modeled on the paper's GIIS cache:
+// the single biggest performance lever its experiments found (>10x
+// information-server throughput with data in cache, Figures 5–6). A hit
+// serves the decoded records of an earlier identical query without
+// touching any engine; entries live for the configured TTL and are
+// invalidated wholesale whenever the grid's state advances (Advance,
+// Advertise, or a legacy write serialized through the facade), so a
+// cached answer is never older than both the TTL and the last
+// monitoring round.
+
+// cacheKey identifies one cacheable query: the full request shape, with
+// Attrs joined order-sensitively (projections with different orders are
+// different requests to the engines). The role is the caller's
+// normalized one, so an empty Role and an explicit information-server
+// Role — identical requests to the engines — share an entry.
+type cacheKey struct {
+	system System
+	role   Role
+	host   string
+	expr   string
+	attrs  string
+}
+
+func keyFor(q Query, role Role) cacheKey {
+	return cacheKey{
+		system: q.System,
+		role:   role,
+		host:   q.Host,
+		expr:   q.Expr,
+		attrs:  strings.Join(q.Attrs, "\x00"),
+	}
+}
+
+// cacheEntry is one cached answer. Records are shared between the cache
+// and every hit — see WithQueryCache for the read-only contract.
+type cacheEntry struct {
+	gen     uint64
+	expires time.Time
+	records []Record
+	work    Work
+}
+
+// queryCache is the facade's TTL result cache. Lookups run under a read
+// lock so cache hits scale with readers; stores take the write lock.
+// Invalidation bumps a generation counter instead of clearing the map,
+// so it is O(1) under the facade's write lock; stale generations are
+// overwritten by the next store on their key.
+type queryCache struct {
+	ttl time.Duration
+	gen atomic.Uint64
+
+	mu      sync.RWMutex
+	entries map[cacheKey]*cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newQueryCache(ttl time.Duration) *queryCache {
+	return &queryCache{ttl: ttl, entries: make(map[cacheKey]*cacheEntry)}
+}
+
+// lookup returns the live cached answer for key, if any, counting the
+// hit or miss.
+func (c *queryCache) lookup(key cacheKey, now time.Time) (*cacheEntry, bool) {
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e == nil || e.gen != c.gen.Load() || now.After(e.expires) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e, true
+}
+
+// maxCacheEntries bounds the cache map: a long-lived server seeing many
+// distinct query shapes (per-client filters, rotating hosts) must not
+// retain a record payload per shape forever.
+const maxCacheEntries = 1024
+
+// store caches an answer computed while generation gen was current (the
+// caller reads gen under the facade's read lock, so a concurrent
+// Advance cannot slip between the engine query and the stamp — an entry
+// stored after an invalidation carries the old gen and is dead on
+// arrival rather than serving pre-Advance data as fresh).
+func (c *queryCache) store(key cacheKey, gen uint64, now time.Time, records []Record, work Work) {
+	e := &cacheEntry{
+		gen:     gen,
+		expires: now.Add(c.ttl),
+		records: records,
+		work:    work,
+	}
+	c.mu.Lock()
+	if len(c.entries) >= maxCacheEntries {
+		// Drop everything dead first (stale generation or past TTL); if
+		// the cap is still hit the working set genuinely exceeds the
+		// bound, so start over rather than grow without limit.
+		cur := c.gen.Load()
+		for k, old := range c.entries {
+			if old.gen != cur || now.After(old.expires) {
+				delete(c.entries, k)
+			}
+		}
+		if len(c.entries) >= maxCacheEntries {
+			c.entries = make(map[cacheKey]*cacheEntry)
+		}
+	}
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// invalidate drops every cached answer (generation bump; O(1)).
+func (c *queryCache) invalidate() {
+	c.gen.Add(1)
+}
+
+// QueryCacheStats reports the facade query cache's lifetime hit and miss
+// counts. With no cache configured (see WithQueryCache) both are zero
+// and ok is false.
+func (g *Grid) QueryCacheStats() (hits, misses uint64, ok bool) {
+	if g.cache == nil {
+		return 0, 0, false
+	}
+	return g.cache.hits.Load(), g.cache.misses.Load(), true
+}

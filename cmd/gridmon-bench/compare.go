@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark comparison: -compare diffs two `go test -json` benchmark
+// event streams (the files `make bench-json` records as BENCH_<date>.json)
+// and flags regressions, so the BENCH trajectory across PRs is checked
+// mechanically instead of eyeballed. The Makefile's bench-compare target
+// runs a fresh suite and pipes it in as the current side.
+
+// regressionThreshold flags a benchmark whose ns/op grew by more than
+// this factor over the baseline.
+const regressionThreshold = 1.20
+
+// benchEvent is the subset of the go-test JSON event stream we read.
+type benchEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkName/sub=4-8   \t   1234   \t   567.8 ns/op   [more metrics...]
+//
+// The trailing -N GOMAXPROCS suffix is stripped so runs from machines
+// with different core counts still align by name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// readBench extracts name -> ns/op from a go-test -json stream. The
+// stream splits one textual line across multiple output events (the
+// benchmark name is flushed before the measurement runs), so output is
+// stitched per package and matched on complete lines. A name appearing
+// more than once keeps its last value (go test re-runs).
+func readBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	partial := make(map[string]string) // package -> unterminated output tail
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev benchEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate non-event noise in the stream
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := partial[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			if m := benchLine.FindStringSubmatch(strings.TrimSpace(text[:nl])); m != nil {
+				if ns, err := strconv.ParseFloat(m[2], 64); err == nil {
+					out[m[1]] = ns
+				}
+			}
+			text = text[nl+1:]
+		}
+		partial[ev.Package] = text
+	}
+	return out, sc.Err()
+}
+
+func readBenchFile(path string) (map[string]float64, error) {
+	if path == "-" {
+		return readBench(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readBench(f)
+}
+
+// compareBench diffs current against baseline, printing a table of every
+// shared benchmark and returning the regressed names plus the baseline
+// benchmarks the current run is missing (a partial or crashed run must
+// not read as a clean bill).
+func compareBench(baseline, current map[string]float64) (regressed, missing []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if _, ok := current[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
+	for _, name := range names {
+		base, cur := baseline[name], current[name]
+		ratio := cur / base
+		mark := ""
+		switch {
+		case ratio > regressionThreshold:
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		case ratio < 1/regressionThreshold:
+			mark = "  improved"
+		}
+		fmt.Printf("%-64s %14.1f %14.1f %+7.1f%%%s\n", name, base, cur, (ratio-1)*100, mark)
+	}
+	onlyIn := func(a, b map[string]float64, label string) []string {
+		var only []string
+		for name := range a {
+			if _, ok := b[name]; !ok {
+				only = append(only, name)
+			}
+		}
+		sort.Strings(only)
+		for _, name := range only {
+			fmt.Printf("%-64s %14s\n", name, label)
+		}
+		return only
+	}
+	missing = onlyIn(baseline, current, "(baseline only)")
+	onlyIn(current, baseline, "(current only)")
+	return regressed, missing
+}
+
+// runCompare is the -compare entry point; it returns the process exit
+// status (1 when regressions are flagged).
+func runCompare(baselinePath, againstPath string) int {
+	baseline, err := readBenchFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading baseline %s: %v\n", baselinePath, err)
+		return 1
+	}
+	current, err := readBenchFile(againstPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading current run %s: %v\n", againstPath, err)
+		return 1
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "no benchmark results in baseline %s\n", baselinePath)
+		return 1
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(os.Stderr, "no benchmark results in current run %s\n", againstPath)
+		return 1
+	}
+	regressed, missing := compareBench(baseline, current)
+	status := 0
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d benchmark(s) regressed more than %.0f%%:\n",
+			len(regressed), (regressionThreshold-1)*100)
+		for _, name := range regressed {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+		status = 1
+	}
+	if len(missing) > 0 {
+		// A current run without a baseline benchmark is a partial (or
+		// crashed) suite, not a pass; comparing a filtered run against a
+		// full baseline fails the same way, deliberately.
+		fmt.Fprintf(os.Stderr, "\n%d baseline benchmark(s) absent from the current run (partial suite?)\n",
+			len(missing))
+		status = 1
+	}
+	if status == 0 {
+		fmt.Printf("\nno regressions beyond %.0f%%\n", (regressionThreshold-1)*100)
+	}
+	return status
+}

@@ -4,7 +4,9 @@
 //
 // Usage:
 //
-//	gridmon-bench [-quick] [-parallel n] [-csv dir] [exp1|exp2|exp3|exp4 ...]
+//	gridmon-bench [-quick] [-parallel n] [-csv dir]
+//	              [-cpuprofile f] [-memprofile f] [exp1|exp2|exp3|exp4 ...]
+//	gridmon-bench -compare BENCH_<date>.json [-against current.json]
 //
 // With no experiment arguments every set runs. -quick shortens the
 // measurement window for smoke runs (the paper's full 10-minute windows
@@ -12,23 +14,73 @@
 // (default: one per CPU); every point runs on its own simulation
 // environment, so the printed curves are bit-identical to -parallel 1 —
 // only the wall-clock changes.
+//
+// -compare switches to benchmark-diff mode: the flag names a recorded
+// `make bench-json` baseline (a go-test -json event stream) and -against
+// the current run to diff it with ("-", the default, reads stdin — the
+// Makefile's bench-compare target pipes a fresh suite in). Shared
+// benchmarks are tabulated by ns/op delta and anything more than 20%
+// slower is flagged as a regression, failing the exit status.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	gridmon "repro"
 )
 
+// main delegates to run so deferred cleanup — in particular flushing
+// the pprof profiles — happens on error exits too (os.Exit would skip
+// it and leave a truncated, unparseable profile).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "shortened measurement windows")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max sweep points measured concurrently (1 = serial)")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files to this directory")
+	compare := flag.String("compare", "", "baseline BENCH_<date>.json to diff instead of running experiments")
+	against := flag.String("against", "-", "current-run bench json to diff the baseline with (- = stdin)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *compare != "" {
+		return runCompare(*compare, *against)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
+	}()
 
 	names := flag.Args()
 	if len(names) == 0 {
@@ -38,20 +90,21 @@ func main() {
 		series, err := gridmon.RunExperimentWorkers(name, os.Stdout, *quick, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			path := filepath.Join(*csvDir, name+".csv")
 			if err := os.WriteFile(path, []byte(gridmon.ExperimentCSV(series)), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("\nwrote %s\n", path)
 		}
 		fmt.Println()
 	}
+	return 0
 }

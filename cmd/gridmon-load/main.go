@@ -1,0 +1,387 @@
+// Command gridmon-load is a closed-loop load generator for a live grid
+// server — the paper's measurement methodology (Figures 3–10) against
+// real sockets: N concurrent users each issue a query, wait for the
+// answer, think, and repeat; the tool reports throughput, mean/p50/p99
+// response time and cache hit rate per concurrency level.
+//
+// Usage:
+//
+//	gridmon-load [-addr host:port] [-users 1,2,4,8] [-duration 3s] [-think 0]
+//	             [-system MDS|R-GMA|Hawkeye] [-role info|dir|agg] [-host h]
+//	             [-expr e] [-attrs a,b] [-o table|json]
+//	             [-hosts lucky3,...] [-producers 3] [-advance 1s] [-cache 0]
+//	             [-cpuprofile f] [-memprofile f]
+//
+// With no -addr the tool serves itself: it builds an in-process grid
+// (over -hosts, with -producers R-GMA producers per host and, when
+// -cache is positive, a WithQueryCache result cache), serves it on a
+// loopback port, and runs an Advance pump every -advance — so one
+// command reproduces the paper's closed-loop curves end to end:
+//
+//	gridmon-load -users 1,2,5,10,20,50 -duration 5s -cache 30s
+//
+// Each user dials its own connection, so concurrency levels map to real
+// concurrent sockets; levels run one after another against the same
+// server (state is steady, queries are read-only). When the query shape
+// needs a Host (MDS or Hawkeye information servers) and -host is empty,
+// users rotate across the grid's monitored hosts.
+//
+// The cache hit rate is computed from the Work.CacheHits/CacheMisses
+// counters in each response, so it reflects the serving grid's cache,
+// not client-side state. Against a grid without WithQueryCache the
+// column reads "-".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	gridmon "repro"
+)
+
+// main delegates to run so deferred cleanup — stopping the in-process
+// server and flushing the pprof profiles — happens on error exits too
+// (log.Fatal/os.Exit would skip it and leave a truncated profile).
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "", "server address (empty: serve an in-process grid)")
+	usersList := flag.String("users", "1,2,4,8", "comma-separated concurrency levels")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window per level")
+	think := flag.Duration("think", 0, "per-user think time between requests")
+	system := flag.String("system", "MDS", "target system: MDS, R-GMA or Hawkeye")
+	role := flag.String("role", "", "target role: info (default), dir or agg (full Table 1 names also accepted)")
+	host := flag.String("host", "", "target host (empty: rotate when the query needs one)")
+	expr := flag.String("expr", "", "query expression in the system's dialect")
+	attrs := flag.String("attrs", "", "comma-separated projection attributes")
+	output := flag.String("o", "table", "output format: table or json")
+	hostsList := flag.String("hosts", "lucky3,lucky4,lucky5,lucky6,lucky7", "self-serve: monitored host names")
+	producers := flag.Int("producers", 3, "self-serve: R-GMA producers per host")
+	advance := flag.Duration("advance", time.Second, "self-serve: Advance pump interval (0 disables the pump)")
+	cacheTTL := flag.Duration("cache", 0, "self-serve: WithQueryCache TTL (0 disables the cache)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the client loop to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Parse()
+
+	levels, err := parseLevels(*usersList)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *output != "table" && *output != "json" {
+		log.Printf("bad -o %q (want table or json)", *output)
+		return 1
+	}
+
+	target := *addr
+	if target == "" {
+		stop, bound, err := selfServe(*hostsList, *producers, *advance, *cacheTTL)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer stop()
+		target = bound
+		fmt.Fprintf(os.Stderr, "serving in-process grid on %s (advance %v, cache %v)\n",
+			bound, *advance, *cacheTTL)
+	}
+
+	q := gridmon.Query{
+		System: gridmon.System(*system),
+		Role:   parseRole(*role),
+		Host:   *host,
+		Expr:   *expr,
+	}
+	if *attrs != "" {
+		q.Attrs = strings.Split(*attrs, ",")
+	}
+	hosts, err := gridHosts(target)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+		}
+	}()
+
+	var results []levelResult
+	for _, users := range levels {
+		res, err := runLevel(target, q, hosts, users, *duration, *think)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		results = append(results, res)
+	}
+
+	if *output == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			log.Print(err)
+			return 1
+		}
+	} else {
+		printTable(results)
+	}
+	return 0
+}
+
+// levelResult is one concurrency level's measurement — one point of the
+// paper's throughput and response-time curves.
+type levelResult struct {
+	Users      int     `json:"users"`
+	Queries    int     `json:"queries"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_qps"`
+	MeanMS     float64 `json:"mean_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	// CacheHitRate is hits/(hits+misses) summed over every response's
+	// Work counters; nil when the serving grid has no query cache.
+	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// userStats is one user's tally, merged after the level completes.
+type userStats struct {
+	latencies []time.Duration
+	errors    int
+	hits      int
+	misses    int
+}
+
+// runLevel drives one closed-loop concurrency level: users goroutines,
+// each on its own connection, querying back-to-back (plus think time)
+// for the duration.
+func runLevel(addr string, q gridmon.Query, hosts []string, users int,
+	duration, think time.Duration) (levelResult, error) {
+	// Dial every user before the window opens so slow connects don't
+	// eat into the measurement.
+	conns := make([]*gridmon.RemoteGrid, users)
+	for i := range conns {
+		rg, err := gridmon.Dial(addr)
+		if err != nil {
+			return levelResult{}, fmt.Errorf("user %d: %v", i, err)
+		}
+		conns[i] = rg
+		defer rg.Close()
+	}
+	stats := make([]userStats, users)
+	deadline := time.Now().Add(duration)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for u := 0; u < users; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &stats[u]
+			for i := 0; time.Now().Before(deadline); i++ {
+				uq := q
+				if uq.Host == "" && needsHost(q) && len(hosts) > 0 {
+					uq.Host = hosts[(i+u)%len(hosts)]
+				}
+				t0 := time.Now()
+				rs, err := conns[u].Query(ctx, uq)
+				if err != nil {
+					st.errors++
+					continue
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.hits += rs.Work.CacheHits
+				st.misses += rs.Work.CacheMisses
+				if think > 0 {
+					time.Sleep(think)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	res := levelResult{Users: users}
+	hits, misses := 0, 0
+	for _, st := range stats {
+		all = append(all, st.latencies...)
+		res.Errors += st.errors
+		hits += st.hits
+		misses += st.misses
+	}
+	res.Queries = len(all)
+	if elapsed > 0 {
+		res.Throughput = float64(res.Queries) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		var sum time.Duration
+		for _, d := range all {
+			sum += d
+		}
+		res.MeanMS = float64(sum.Microseconds()) / float64(len(all)) / 1000
+		res.P50MS = ms(percentile(all, 0.50))
+		res.P99MS = ms(percentile(all, 0.99))
+	}
+	if hits+misses > 0 {
+		rate := float64(hits) / float64(hits+misses)
+		res.CacheHitRate = &rate
+	}
+	return res, nil
+}
+
+// needsHost reports whether the query shape requires a Host: the
+// per-resource information servers of MDS and Hawkeye.
+func needsHost(q gridmon.Query) bool {
+	if q.Role != "" && q.Role != gridmon.RoleInformationServer {
+		return false
+	}
+	return q.System == gridmon.MDS || q.System == gridmon.Hawkeye
+}
+
+// percentile returns the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func printTable(results []levelResult) {
+	fmt.Printf("%7s %9s %7s %12s %10s %10s %10s %9s\n",
+		"users", "queries", "errors", "qps", "mean-ms", "p50-ms", "p99-ms", "cache-hit")
+	for _, r := range results {
+		hit := "-"
+		if r.CacheHitRate != nil {
+			hit = fmt.Sprintf("%.1f%%", 100**r.CacheHitRate)
+		}
+		fmt.Printf("%7d %9d %7d %12.1f %10.3f %10.3f %10.3f %9s\n",
+			r.Users, r.Queries, r.Errors, r.Throughput, r.MeanMS, r.P50MS, r.P99MS, hit)
+	}
+}
+
+// parseRole maps the CLI shorthand (or a full Table 1 name) to a Role.
+func parseRole(s string) gridmon.Role {
+	switch strings.ToLower(s) {
+	case "", "info", "information server":
+		return "" // Query's zero value: information server
+	case "dir", "directory", "directory server":
+		return gridmon.RoleDirectoryServer
+	case "agg", "aggregate", "aggregate information server":
+		return gridmon.RoleAggregateServer
+	}
+	return gridmon.Role(s) // let the server reject unknowns with a clear error
+}
+
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -users entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-users is empty")
+	}
+	return out, nil
+}
+
+// gridHosts asks the server for its monitored hosts (for -host rotation).
+func gridHosts(addr string) ([]string, error) {
+	rg, err := gridmon.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer rg.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return rg.Hosts(ctx)
+}
+
+// selfServe builds and serves an in-process grid, returning a stop
+// function and the bound loopback address.
+func selfServe(hostsList string, producers int, advance, cacheTTL time.Duration) (func(), string, error) {
+	opts := []gridmon.Option{
+		gridmon.WithHosts(strings.Split(hostsList, ",")...),
+		gridmon.WithRGMAProducers(producers),
+		gridmon.WithWallClock(),
+	}
+	if cacheTTL > 0 {
+		opts = append(opts, gridmon.WithQueryCache(cacheTTL))
+	}
+	grid, err := gridmon.New(opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := gridmon.NewTransportServer()
+	grid.Serve(srv)
+	bound, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	stopPump := make(chan struct{})
+	if advance > 0 {
+		go func() {
+			ticker := time.NewTicker(advance)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopPump:
+					return
+				case <-ticker.C:
+					if err := grid.Advance(grid.Now()); err != nil {
+						log.Printf("advance: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	return func() { close(stopPump); srv.Close() }, bound, nil
+}

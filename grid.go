@@ -24,12 +24,20 @@ type Grid struct {
 	cfg   *config
 	clock func() float64
 
-	// mu serializes grid-state access across Query, Subscribe, Advance
-	// and Advertise, so a live server can pump sensors from a background
-	// goroutine while serving queries and streams.
-	mu       sync.Mutex
+	// mu is the facade's reader/writer gate: Query takes the read lock,
+	// so independent queries run in parallel on a multi-core server (the
+	// engines' read paths are safe for concurrent readers — lazily
+	// maintained structures double-check under their own locks); the
+	// state-changing paths — Advance, Advertise, Subscribe bookkeeping,
+	// and the legacy ops serialized through Serve — take the write lock
+	// and run exclusively, exactly as before.
+	mu       sync.RWMutex
 	subID    uint64        // allocator for subscription ids
 	watchers []*mdsWatcher // active MDS poll-and-diff watchers
+
+	// cache is the opt-in GIIS-style query result cache (nil without
+	// WithQueryCache).
+	cache *queryCache
 
 	// MDS: one GIIS aggregating a warm GRIS per host.
 	giis   *mds.GIIS
@@ -73,6 +81,9 @@ func New(opts ...Option) (*Grid, error) {
 	g := &Grid{cfg: cfg, clock: cfg.clock}
 	if g.clock == nil {
 		g.clock = func() float64 { return 0 }
+	}
+	if cfg.queryCacheTTL > 0 {
+		g.cache = newQueryCache(cfg.queryCacheTTL)
 	}
 	if cfg.systems[MDS] {
 		if err := g.buildMDS(); err != nil {
@@ -216,7 +227,17 @@ func copyMap[V any](m map[string]V) map[string]V {
 func (g *Grid) Advertise(now float64) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.invalidateCacheLocked()
 	return g.advertiseLocked(now)
+}
+
+// invalidateCacheLocked drops every cached query answer; every
+// state-changing path calls it so a cache hit never outlives the data it
+// was computed from. Callers hold g.mu exclusively.
+func (g *Grid) invalidateCacheLocked() {
+	if g.cache != nil {
+		g.cache.invalidate()
+	}
 }
 
 func (g *Grid) advertiseLocked(now float64) error {
@@ -250,6 +271,7 @@ func (g *Grid) advertiseLocked(now float64) error {
 func (g *Grid) Advance(now float64) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.invalidateCacheLocked()
 	g.pollWatchersLocked(now)
 	if g.servlets != nil {
 		for _, h := range g.cfg.hosts {
@@ -313,7 +335,17 @@ func NewTransportServer() *TransportServer { return transport.NewServer() }
 // rgma.tables, hawkeye.query, hawkeye.pool) in both protocol
 // generations, so old v1 clients keep working unchanged. The server's
 // built-in ops.list op reports the whole namespace.
+//
+// Serve marks the server Concurrent: the grid does its own locking
+// (queries under the facade's read lock run in parallel; the legacy ops
+// are serialized through its write lock), so requests from different
+// connections are dispatched simultaneously — the property the
+// concurrent-user experiments (gridmon-load) measure. Call Serve before
+// Listen (ops must be registered before traffic anyway): the Concurrent
+// flag is plain state, and the switch applies server-wide, so any other
+// handlers registered on srv must do their own locking too.
 func (g *Grid) Serve(srv *transport.Server) {
+	srv.Concurrent = true
 	transport.Handle(srv, "grid.query", func(ctx context.Context, q Query) (*ResultSet, error) {
 		return g.Query(ctx, q)
 	})
@@ -331,10 +363,12 @@ func (g *Grid) Serve(srv *transport.Server) {
 		Manager:  g.manager,
 		Now:      g.clock,
 		// The legacy ops touch the same components the Advance pump
-		// mutates; serialize them through the facade's mutex.
+		// mutates; serialize them through the facade's write lock, and
+		// treat them as potential writes for the query cache.
 		Serialize: func(run func()) {
 			g.mu.Lock()
 			defer g.mu.Unlock()
+			g.invalidateCacheLocked()
 			run()
 		},
 	})

@@ -86,6 +86,16 @@ type Work struct {
 	// no index applied (non-indexable filter, or an inherently
 	// scan-everything request).
 	ScanFallbacks int
+	// CacheHits counts answers served whole from a result cache in front
+	// of the component (the facade's GIIS-style query cache) — the
+	// serving engine did no work at all, the regime behind the paper's
+	// >10x "data in cache" throughput (Figures 5–6). Zero when no cache
+	// is configured.
+	CacheHits int
+	// CacheMisses counts queries that went through a configured result
+	// cache without finding a live entry (the engine Work fields describe
+	// what answering then cost). Zero when no cache is configured.
+	CacheMisses int
 }
 
 // Add accumulates o into w.
@@ -98,6 +108,8 @@ func (w *Work) Add(o Work) {
 	w.ResponseBytes += o.ResponseBytes
 	w.IndexHits += o.IndexHits
 	w.ScanFallbacks += o.ScanFallbacks
+	w.CacheHits += o.CacheHits
+	w.CacheMisses += o.CacheMisses
 }
 
 // Component is anything occupying a Table 1 role.

@@ -39,16 +39,21 @@ func (tr *Trigger) matches(ad *classad.Ad) bool {
 // answers status queries about pool members, and performs ClassAd
 // Matchmaking between submitted Trigger ClassAds and Startd ClassAds.
 // It is safe for concurrent use: the live server advertises from a
-// background goroutine while serving queries. Trigger Fire callbacks
-// run after the Manager's lock is released, so they may call back into
-// it (e.g. RemoveTrigger for one-shot triggers).
+// background goroutine while serving queries, and queries themselves
+// run in parallel — reads take a shared lock when no ad can have
+// expired (AdLifetime zero, the facade's configuration), upgrading to
+// the exclusive lock only when expiry must mutate the pool. Updates
+// swap whole-ad pointers, so a result set handed out under the read
+// lock stays a consistent snapshot. Trigger Fire callbacks run after
+// the Manager's lock is released, so they may call back into it (e.g.
+// RemoveTrigger for one-shot triggers).
 type Manager struct {
 	Name string
 	// AdLifetime expires pool members that stop advertising. Zero means
 	// ads never expire.
 	AdLifetime float64
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	ads      map[string]*machineAd // indexed by lowercase machine name
 	order    []string
 	triggers []*Trigger
@@ -65,11 +70,23 @@ func NewManager(name string, adLifetime float64) *Manager {
 	return &Manager{Name: name, AdLifetime: adLifetime, ads: make(map[string]*machineAd)}
 }
 
+// lockForRead takes the lock a read at time now needs: the shared lock
+// when no ad can expire (AdLifetime zero — reads mutate nothing and run
+// in parallel), otherwise the exclusive lock with expiry applied first.
+// It returns the matching unlock.
+func (m *Manager) lockForRead(now float64) (unlock func()) {
+	if m.AdLifetime <= 0 {
+		m.mu.RLock()
+		return m.mu.RUnlock
+	}
+	m.mu.Lock()
+	m.expire(now)
+	return m.mu.Unlock
+}
+
 // NumMachines reports the number of live pool members at time now.
 func (m *Manager) NumMachines(now float64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expire(now)
+	defer m.lockForRead(now)()
 	return len(m.ads)
 }
 
@@ -141,9 +158,7 @@ func (m *Manager) expire(now float64) {
 // no scan, the "indexed resident database" advantage the paper credits for
 // the Manager's efficiency.
 func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expire(now)
+	defer m.lockForRead(now)()
 	rec, ok := m.ads[lower(name)]
 	if !ok {
 		return nil, QueryStats{}, false
@@ -158,9 +173,7 @@ func (m *Manager) QueryByName(now float64, name string) (*classad.Ad, QueryStats
 // pool; the constraint is compiled once per query so the scan does not
 // re-resolve its attribute references per machine.
 func (m *Manager) Query(now float64, constraint classad.Expr) ([]*classad.Ad, QueryStats) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expire(now)
+	defer m.lockForRead(now)()
 	st := QueryStats{ScanFallbacks: 1}
 	var out []*classad.Ad
 	var cc *classad.CompiledConstraint
@@ -202,8 +215,8 @@ func (m *Manager) SubmitTrigger(now float64, tr *Trigger) int {
 
 // NumTriggers reports the number of installed triggers.
 func (m *Manager) NumTriggers() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.triggers)
 }
 
@@ -222,9 +235,7 @@ func (m *Manager) RemoveTrigger(name string) bool {
 
 // Machines lists live pool-member names in sorted order.
 func (m *Manager) Machines(now float64) []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expire(now)
+	defer m.lockForRead(now)()
 	out := make([]string, 0, len(m.order))
 	for _, key := range m.order {
 		out = append(out, m.ads[key].name)
@@ -237,9 +248,7 @@ func (m *Manager) Machines(now float64) []string {
 // an Agent directly must first ask the Manager for the Agent's address,
 // the two-step lookup the paper describes.
 func (m *Manager) AgentAddress(now float64, name string) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expire(now)
+	defer m.lockForRead(now)()
 	rec, ok := m.ads[lower(name)]
 	if !ok {
 		return "", false

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Scope selects how much of the tree a search covers, mirroring LDAP.
@@ -43,15 +45,21 @@ type DIT struct {
 	entries  map[string]*Entry   // normalized DN -> entry
 	children map[string][]string // normalized parent DN -> child keys, insertion order
 
-	ids       map[string]int // entry key -> id
-	byID      []*Entry       // id -> entry (nil when freed)
-	keyByID   []string       // id -> entry key
-	freeIDs   []int
-	idx       map[string]*attrIndex       // lowercase attr -> postings
-	indexed   map[int]map[string][]string // id -> indexed value snapshot
-	counts    map[string]int              // normalized DN -> subtree entry count
-	ords      []int                       // id -> global DFS position
-	ordsValid bool
+	ids     map[string]int // entry key -> id
+	byID    []*Entry       // id -> entry (nil when freed)
+	keyByID []string       // id -> entry key
+	freeIDs []int
+	idx     map[string]*attrIndex       // lowercase attr -> postings
+	indexed map[int]map[string][]string // id -> indexed value snapshot
+	counts  map[string]int              // normalized DN -> subtree entry count
+
+	// The DFS ordinals are the one piece of state a read path maintains
+	// lazily, so they are the one piece guarded for concurrent readers:
+	// ordMu serializes rebuilds and ordsValid publishes them (see
+	// ensureOrdinals). All other mutation requires external exclusion.
+	ordMu     sync.Mutex
+	ords      []int // id -> global DFS position
+	ordsValid atomic.Bool
 }
 
 // NewDIT returns an empty tree containing only the implicit root.
@@ -101,20 +109,26 @@ func (t *DIT) link(e *Entry) {
 	t.children[parent] = append(t.children[parent], key)
 	t.indexEntry(t.allocID(key, e), e)
 	t.bumpCounts(e.DN, 1)
-	t.ordsValid = false
+	t.ordsValid.Store(false)
 }
 
-// Upsert inserts or replaces the entry at its DN.
+// Upsert inserts or replaces the entry at its DN. Replacement swaps the
+// stored *Entry pointer rather than mutating the old entry in place, so
+// a result set handed out before the Upsert keeps reading a consistent
+// snapshot — the property the concurrent query path relies on when a
+// refresh (under the owning service's write lock) overlaps a caller
+// still decoding the previous answer.
 func (t *DIT) Upsert(e *Entry) {
 	key := e.DN.Norm()
-	if old, ok := t.entries[key]; ok {
+	if _, ok := t.entries[key]; ok {
 		// Keep tree links, replace content. Structure is unchanged so the
 		// DFS ordinals survive; only the value postings are refreshed.
 		id := t.ids[key]
 		t.unindexEntry(id)
-		*old = *e.Clone()
-		old.DN = e.DN
-		t.indexEntry(id, old)
+		fresh := e.Clone()
+		t.entries[key] = fresh
+		t.byID[id] = fresh
+		t.indexEntry(id, fresh)
 		return
 	}
 	if err := t.Add(e); err != nil {
@@ -158,7 +172,7 @@ func (t *DIT) Delete(dn DN) int {
 			break
 		}
 	}
-	t.ordsValid = false
+	t.ordsValid.Store(false)
 	// Unlink from parent.
 	parent := dn.Parent().Norm()
 	kids := t.children[parent]

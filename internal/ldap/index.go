@@ -242,8 +242,20 @@ func (t *DIT) bumpCounts(dn DN, delta int) {
 // the global order, so sorting index candidates by ordinal reproduces
 // exactly the order the scan returns. Structure changes (Add, Delete)
 // invalidate the ordinals; value-only Upserts do not.
+//
+// The rebuild is double-checked so concurrent read-locked searches (the
+// facade's parallel query path) can trigger it safely: the valid flag is
+// an atomic — its store after the rebuild publishes the ords slice to
+// lock-free fast-path readers — and ordMu serializes the rebuild itself.
+// Structural writers run exclusively (the services' write locks), so
+// clearing the flag never races a reader holding the slice.
 func (t *DIT) ensureOrdinals() []int {
-	if t.ordsValid {
+	if t.ordsValid.Load() {
+		return t.ords
+	}
+	t.ordMu.Lock()
+	defer t.ordMu.Unlock()
+	if t.ordsValid.Load() {
 		return t.ords
 	}
 	if cap(t.ords) < len(t.byID) {
@@ -264,7 +276,7 @@ func (t *DIT) ensureOrdinals() []int {
 	for _, c := range t.children[""] {
 		rec(c)
 	}
-	t.ordsValid = true
+	t.ordsValid.Store(true)
 	return t.ords
 }
 

@@ -3,6 +3,7 @@ package mds
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/ldap"
 )
@@ -39,6 +40,13 @@ type registration struct {
 // caches their data, answering queries from the cache while the cache TTL
 // holds (the paper sets cachettl very large so the directory
 // functionality is measured alone).
+//
+// GIIS is safe for concurrent use. Queries answered entirely from the
+// cache — no lapsed registrations, no expired source data, the
+// configuration the paper's cache experiments isolate — run under a
+// shared read lock and proceed in parallel; a query that must expire
+// registrations or re-pull sources upgrades to the exclusive lock
+// (double-checked, since another query may have done the work meanwhile).
 type GIIS struct {
 	Name string
 	// CacheTTL governs how long cached source data stays fresh. The
@@ -47,6 +55,7 @@ type GIIS struct {
 	// RegistrationTTL is the soft-state lifetime of a registration.
 	RegistrationTTL float64
 
+	mu        sync.RWMutex
 	dit       *ldap.DIT
 	regs      map[string]*registration
 	regOrder  []string
@@ -65,8 +74,22 @@ func NewGIIS(name string, cacheTTL, registrationTTL float64) *GIIS {
 	}
 }
 
+// fresh reports whether the GIIS can answer at time now without mutating
+// anything: no registration has lapsed and every cached subtree is still
+// within its TTL. Callers hold mu.
+func (g *GIIS) fresh(now float64) bool {
+	for _, id := range g.regOrder {
+		if now >= g.regs[id].expiry || now >= g.cacheFill[id] {
+			return false
+		}
+	}
+	return true
+}
+
 // NumRegistered reports the number of live registrations at time now.
 func (g *GIIS) NumRegistered(now float64) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.expire(now)
 	return len(g.regs)
 }
@@ -76,6 +99,8 @@ func (g *GIIS) NumRegistered(now float64) int {
 // values register, enabling the multi-level hierarchy of the paper's
 // Figure 1. It fails past MaxRegistrants, as the paper's GIIS did.
 func (g *GIIS) Register(id string, src Source, now float64) (QueryStats, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.expire(now)
 	if _, renewing := g.regs[id]; !renewing && len(g.regs) >= MaxRegistrants {
 		return QueryStats{}, ErrGIISOverload{Msg: fmt.Sprintf("registration %q exceeds %d sources", id, MaxRegistrants)}
@@ -162,8 +187,21 @@ func (g *GIIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.E
 // QueryCtx is Query with a cancellation point between each registered
 // source's cache refresh and before the directory search, so a caller
 // abandoning a fan-heavy aggregate query stops the work mid-flight
-// rather than only at the edges.
+// rather than only at the edges. Cache-hit queries run under the read
+// lock and proceed in parallel; a query that must expire or refill takes
+// the write lock.
 func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
+	g.mu.RLock()
+	if g.fresh(now) {
+		defer g.mu.RUnlock()
+		if err := ctx.Err(); err != nil {
+			return nil, QueryStats{}, err
+		}
+		return g.search(QueryStats{}, filter, attrs)
+	}
+	g.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.expire(now)
 	var st QueryStats
 	for _, id := range g.regOrder {
@@ -177,6 +215,12 @@ func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, at
 	if err := ctx.Err(); err != nil {
 		return nil, st, err
 	}
+	return g.search(st, filter, attrs)
+}
+
+// search runs the directory search and accumulates its accounting into
+// st. Callers hold mu (either mode).
+func (g *GIIS) search(st QueryStats, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
 	results, info := g.dit.SearchStats(SuffixDN, ldap.ScopeSub, filter)
 	// Structural glue entries materialized for tree shape are not data.
 	data := results[:0]
@@ -200,6 +244,8 @@ func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, at
 // source's hosts in first-contribution order is not guaranteed; within
 // one registration the order follows the cached tree).
 func (g *GIIS) Hosts(now float64) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.expire(now)
 	var out []string
 	seen := make(map[string]bool)
@@ -222,5 +268,7 @@ func (g *GIIS) Hosts(now float64) []string {
 
 // String identifies the GIIS.
 func (g *GIIS) String() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return fmt.Sprintf("GIIS(%s, %d registered)", g.Name, len(g.regs))
 }

@@ -13,14 +13,30 @@ type Source interface {
 }
 
 // Snapshot returns a copy of all data entries the GIIS currently serves,
-// making a GIIS registrable with a higher-level GIIS.
+// making a GIIS registrable with a higher-level GIIS. Like QueryCtx, a
+// fully cached snapshot runs under the read lock; refreshing takes the
+// write lock.
 func (g *GIIS) Snapshot(now float64) []*ldap.Entry {
+	g.mu.RLock()
+	if g.fresh(now) {
+		defer g.mu.RUnlock()
+		return g.snapshot()
+	}
+	g.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.expire(now)
 	for _, id := range g.regOrder {
 		if now >= g.cacheFill[id] {
 			g.fill(g.regs[id], now)
 		}
 	}
+	return g.snapshot()
+}
+
+// snapshot clones the current data entries. Callers hold mu (either
+// mode).
+func (g *GIIS) snapshot() []*ldap.Entry {
 	entries, _ := g.dit.Search(SuffixDN, ldap.ScopeSub, nil)
 	out := make([]*ldap.Entry, 0, len(entries))
 	for _, e := range entries {

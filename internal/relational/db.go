@@ -4,13 +4,19 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DB is a named collection of tables.
 type DB struct {
 	tables map[string]*Table
-	stmts  map[string]Statement   // Exec's parsed-statement cache
-	plans  map[string]*selectPlan // Exec's compiled SELECT plans
+	// cacheMu guards the statement and plan caches: Exec populates them
+	// on the read path, so concurrent read-locked SELECTs (the grid
+	// facade's parallel query path) race on the maps. Table DDL and row
+	// mutation still require external exclusion.
+	cacheMu sync.Mutex
+	stmts   map[string]Statement   // Exec's parsed-statement cache
+	plans   map[string]*selectPlan // Exec's compiled SELECT plans
 	// MaxRowsPerTable, when positive, applies a row cap to newly created
 	// tables (see Table.MaxRows).
 	MaxRowsPerTable int
@@ -96,13 +102,16 @@ func (r *Result) SizeBytes() int {
 // cached plan is dropped when its table identity changes (DROP +
 // CREATE).
 func (db *DB) Exec(src string) (*Result, error) {
+	db.cacheMu.Lock()
 	st, ok := db.stmts[src]
+	db.cacheMu.Unlock()
 	if !ok {
 		var err error
 		st, err = Parse(src)
 		if err != nil {
 			return nil, err
 		}
+		db.cacheMu.Lock()
 		if db.stmts == nil {
 			db.stmts = make(map[string]Statement)
 		}
@@ -111,12 +120,16 @@ func (db *DB) Exec(src string) (*Result, error) {
 			db.plans = nil
 		}
 		db.stmts[src] = st
+		db.cacheMu.Unlock()
 	}
 	sel, isSel := st.(SelectStmt)
 	if !isSel {
 		return db.Run(st)
 	}
-	if p, ok := db.plans[src]; ok {
+	db.cacheMu.Lock()
+	p, ok := db.plans[src]
+	db.cacheMu.Unlock()
+	if ok {
 		if cur, exists := db.Table(sel.Table); exists && cur == p.table {
 			return p.exec(sel)
 		}
@@ -125,10 +138,12 @@ func (db *DB) Exec(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.cacheMu.Lock()
 	if db.plans == nil {
 		db.plans = make(map[string]*selectPlan)
 	}
 	db.plans[src] = p
+	db.cacheMu.Unlock()
 	return p.exec(sel)
 }
 
@@ -315,11 +330,11 @@ func (db *DB) runUpdate(s UpdateStmt) (*Result, error) {
 		res.Affected++
 	}
 	if res.Affected > 0 {
+		t.idxMu.Lock()
 		for ci := range t.index {
-			if err := t.CreateIndex(t.Schema.Columns[ci].Name); err != nil {
-				panic(err) // column cannot vanish
-			}
+			t.createIndexLocked(ci)
 		}
+		t.idxMu.Unlock()
 	}
 	return res, nil
 }

@@ -281,11 +281,15 @@ func eqLookupFor(ci int, colType ColType, lit Value) (eqLookup, bool) {
 // an earlier probe), or on the second equality probe of the column —
 // building an O(rows) index for a table queried exactly once (R-GMA's
 // per-query scratch DB) would cost more than the compiled scan it
-// replaces. Provably-empty lookups are free and always taken.
+// replaces. Provably-empty lookups are free and always taken. Probe
+// counting mutates on the read path, so it runs under idxMu — concurrent
+// read-locked SELECTs (the grid facade's parallel query path) race here.
 func (t *Table) wantIndex(lk eqLookup) bool {
 	if lk.impossible {
 		return true
 	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if _, ok := t.index[lk.ci]; ok {
 		return true
 	}
@@ -354,8 +358,7 @@ func (p *selectPlan) match(where BoolExpr) (matched [][]Value, scanned, indexHit
 	if p.safe && p.lkOK && t.wantIndex(p.lk) {
 		var cand []int
 		if !p.lk.impossible {
-			t.ensureIndex(p.lk.ci)
-			cand = t.index[p.lk.ci][p.lk.key]
+			cand = t.lookupIndex(p.lk.ci, p.lk.key)
 		}
 		for _, rn := range cand {
 			row := t.rows[rn]

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Column describes one table column.
@@ -43,6 +44,12 @@ type Table struct {
 	Schema  Schema
 	MaxRows int
 	rows    [][]Value
+	// idxMu guards index and eqProbes: SELECTs lazily build indexes and
+	// bump probe counters, so concurrent read-locked queries (the grid
+	// facade's parallel read path) mutate this state from what is
+	// otherwise a pure read. Row mutation still requires external
+	// exclusion (the owning service's write lock).
+	idxMu sync.Mutex
 	// index maps an indexed column position to value-key -> row numbers.
 	index map[int]map[string][]int
 	// eqProbes counts equality SELECTs per un-indexed column; the
@@ -69,13 +76,21 @@ func (t *Table) CreateIndex(col string) error {
 	if ci < 0 {
 		return fmt.Errorf("relational: no column %q in table %q", col, t.Name)
 	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	t.createIndexLocked(ci)
+	return nil
+}
+
+// createIndexLocked builds (or rebuilds) the index on column position ci.
+// Callers hold idxMu.
+func (t *Table) createIndexLocked(ci int) {
 	idx := make(map[string][]int)
 	for rowNum, row := range t.rows {
 		key := indexKey(row[ci])
 		idx[key] = append(idx[key], rowNum)
 	}
 	t.index[ci] = idx
-	return nil
 }
 
 // indexKey is the hash key for one value: case-folded so string lookups
@@ -89,15 +104,22 @@ func indexKey(v Value) string {
 	return strings.ToLower(v.String())
 }
 
-// ensureIndex builds the hash index on column position ci if it does not
-// exist yet — the SELECT planner's auto-indexing of predicate columns.
-func (t *Table) ensureIndex(ci int) {
-	if _, ok := t.index[ci]; !ok {
-		// ci came from ColIndex, so CreateIndex cannot fail.
-		if err := t.CreateIndex(t.Schema.Columns[ci].Name); err != nil {
-			panic(err)
-		}
+// lookupIndex returns the candidate row numbers for key in the index on
+// column position ci, building the index first when absent — the SELECT
+// planner's auto-indexing of predicate columns. The build is
+// double-checked under idxMu so concurrent readers race safely; the
+// returned slice is append-only until the next row mutation (which runs
+// under external exclusion), so reading it outside the lock is safe.
+func (t *Table) lookupIndex(ci int, key string) []int {
+	t.idxMu.Lock()
+	idx, ok := t.index[ci]
+	if !ok {
+		t.createIndexLocked(ci)
+		idx = t.index[ci]
 	}
+	cand := idx[key]
+	t.idxMu.Unlock()
+	return cand
 }
 
 // Len reports the number of rows.
@@ -122,10 +144,12 @@ func (t *Table) Insert(row []Value) error {
 	}
 	rowNum := len(t.rows)
 	t.rows = append(t.rows, stored)
+	t.idxMu.Lock()
 	for ci, idx := range t.index {
 		key := indexKey(stored[ci])
 		idx[key] = append(idx[key], rowNum)
 	}
+	t.idxMu.Unlock()
 	return nil
 }
 
@@ -141,11 +165,17 @@ func (t *Table) LookupIndexed(col string, v Value) (rows [][]Value, ok bool) {
 	if ci < 0 {
 		return nil, false
 	}
+	t.idxMu.Lock()
 	idx, ok := t.index[ci]
+	var cand []int
+	if ok {
+		cand = idx[indexKey(v)]
+	}
+	t.idxMu.Unlock()
 	if !ok {
 		return nil, false
 	}
-	for _, rn := range idx[indexKey(v)] {
+	for _, rn := range cand {
 		rows = append(rows, t.rows[rn])
 	}
 	return rows, true
@@ -165,12 +195,11 @@ func (t *Table) DeleteWhere(pred func(row []Value) bool) int {
 	}
 	t.rows = kept
 	if removed > 0 {
+		t.idxMu.Lock()
 		for ci := range t.index {
-			name := t.Schema.Columns[ci].Name
-			if err := t.CreateIndex(name); err != nil {
-				panic(err) // column cannot vanish
-			}
+			t.createIndexLocked(ci)
 		}
+		t.idxMu.Unlock()
 	}
 	return removed
 }

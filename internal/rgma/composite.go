@@ -2,6 +2,7 @@ package rgma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gma"
 	"repro/internal/relational"
@@ -23,9 +24,15 @@ type CompositeProducer struct {
 	resolve  func(address string) (*ProducerServlet, error)
 	servlet  *ProducerServlet
 	producer *Producer
-	// lastRefresh caches the upstream pull like a GIIS cache; RefreshTTL
+	// RefreshTTL caches the upstream pull like a GIIS cache; RefreshTTL
 	// seconds of staleness are tolerated (0 = refetch on every query).
-	RefreshTTL  float64
+	RefreshTTL float64
+
+	// mu guards the staleness bookkeeping and serializes upstream pulls,
+	// so concurrent queries double-check the refresh the way a GRIS
+	// double-checks its provider cache. The serving itself (a scratch-DB
+	// SELECT over the local copy) runs outside the lock.
+	mu          sync.Mutex
 	lastRefresh float64
 	haveData    bool
 }
@@ -56,6 +63,13 @@ func (cp *CompositeProducer) Servlet() *ProducerServlet { return cp.servlet }
 // registered producer servlet and republishes the union. It returns the
 // number of upstream servlets contacted.
 func (cp *CompositeProducer) Refresh(now float64) (int, QueryStats, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.refreshLocked(now)
+}
+
+// refreshLocked performs the upstream pull. Callers hold mu.
+func (cp *CompositeProducer) refreshLocked(now float64) (int, QueryStats, error) {
 	var st QueryStats
 	ads, lookupStats, err := cp.registry.LookupProducersStats(cp.Table, now)
 	st.RegistryLookups++
@@ -96,16 +110,21 @@ func (cp *CompositeProducer) Refresh(now float64) (int, QueryStats, error) {
 
 // Query answers a SQL SELECT from the composite's local copy, refreshing
 // from upstream first when the cached data is older than RefreshTTL. This
-// is the aggregated-form serving the paper describes.
+// is the aggregated-form serving the paper describes. The staleness
+// check is double-checked under the composite's mutex, so concurrent
+// queries at the same instant refresh once and share the copy.
 func (cp *CompositeProducer) Query(now float64, sql string) (*relational.Result, QueryStats, error) {
 	var st QueryStats
+	cp.mu.Lock()
 	if !cp.haveData || now-cp.lastRefresh > cp.RefreshTTL {
-		_, rSt, err := cp.Refresh(now)
+		_, rSt, err := cp.refreshLocked(now)
 		st.Add(rSt)
 		if err != nil {
+			cp.mu.Unlock()
 			return nil, st, err
 		}
 	}
+	cp.mu.Unlock()
 	res, qSt, err := cp.servlet.Query(now, sql)
 	st.Add(qSt)
 	return res, st, err

@@ -7,6 +7,7 @@ package rgma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gma"
 	"repro/internal/relational"
@@ -15,6 +16,13 @@ import (
 // Producer publishes rows of one table, qualified by a fixed predicate
 // (its identity). In the paper's setup each ProducerServlet hosts ten
 // local Producers.
+//
+// Producers are safe for concurrent use: Rows regenerates lazily on the
+// query path, so concurrent servlet queries double-check the generation
+// under the producer's mutex, and whichever query refreshes first
+// publishes once; the others reuse its rows. A row batch, once
+// generated, is never mutated — readers holding an earlier batch keep a
+// consistent snapshot.
 type Producer struct {
 	ID        string
 	Table     string
@@ -24,6 +32,7 @@ type Producer struct {
 	Refresh func(now float64) [][]relational.Value
 
 	schema  []relational.Column
+	mu      sync.Mutex // guards rows and lastGen
 	rows    [][]relational.Value
 	lastGen float64
 	hub     *streamHub
@@ -49,19 +58,29 @@ func (p *Producer) Schema() []relational.Column { return p.schema }
 // Publish replaces the producer's rows and pushes them to any attached
 // subscriptions (the push model of GMA).
 func (p *Producer) Publish(rows [][]relational.Value) {
+	p.mu.Lock()
 	p.rows = rows
+	p.mu.Unlock()
 	p.publish(rows)
 }
 
 // Rows returns the producer's current rows, refreshing once per distinct
-// time instant when a Refresh function is set.
+// time instant when a Refresh function is set. The fan-out to
+// subscriptions runs outside the mutex, so Deliver callbacks may take
+// their own locks freely.
 func (p *Producer) Rows(now float64) [][]relational.Value {
-	if p.Refresh != nil && now != p.lastGen {
-		p.rows = p.Refresh(now)
-		p.lastGen = now
-		p.publish(p.rows)
+	p.mu.Lock()
+	if p.Refresh == nil || now == p.lastGen {
+		rows := p.rows
+		p.mu.Unlock()
+		return rows
 	}
-	return p.rows
+	rows := p.Refresh(now)
+	p.rows = rows
+	p.lastGen = now
+	p.mu.Unlock()
+	p.publish(rows)
+	return rows
 }
 
 // MonitoringSchema is the table layout the paper-style producers publish:

@@ -2,6 +2,7 @@ package rgma
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gma"
 	"repro/internal/relational"
@@ -46,9 +47,17 @@ func (s *QueryStats) Add(o QueryStats) {
 // RDBMS. Producers register a table name and their fixed predicate; the
 // Registry answers Consumer lookups with the matching producers. It
 // implements gma.Registry.
+//
+// The Registry is safe for concurrent use: lookups whose soft state has
+// nothing to expire — the steady state under live registrations — run
+// under a shared read lock; a lookup that must drop lapsed
+// advertisements upgrades to the exclusive lock (double-checked, since a
+// concurrent lookup may have expired them first). Registration and
+// unregistration always take the exclusive lock.
 type Registry struct {
 	Name string
 
+	mu sync.RWMutex
 	db *relational.DB
 }
 
@@ -79,6 +88,8 @@ func (r *Registry) RegisterProducer(ad gma.Advertisement, now, ttl float64) erro
 	if ad.ProducerID == "" || ad.TableName == "" {
 		return fmt.Errorf("rgma: advertisement needs producer id and table name")
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	t, _ := r.db.Table("producers")
 	// Replace any previous registration for this producer.
 	t.DeleteWhere(func(row []relational.Value) bool {
@@ -95,13 +106,28 @@ func (r *Registry) RegisterProducer(ad gma.Advertisement, now, ttl float64) erro
 
 // UnregisterProducer removes a producer's advertisement.
 func (r *Registry) UnregisterProducer(producerID string, now float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	t, _ := r.db.Table("producers")
 	return t.DeleteWhere(func(row []relational.Value) bool {
 		return row[0].S == producerID
 	}) > 0
 }
 
-// expire drops advertisements whose soft state lapsed.
+// anyExpired reports whether any advertisement's soft state has lapsed
+// at time now. Callers hold mu (either mode).
+func (r *Registry) anyExpired(now float64) bool {
+	t, _ := r.db.Table("producers")
+	for _, row := range t.Rows() {
+		if row[4].R <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// expire drops advertisements whose soft state lapsed. Callers hold mu
+// exclusively.
 func (r *Registry) expire(now float64) {
 	t, _ := r.db.Table("producers")
 	t.DeleteWhere(func(row []relational.Value) bool {
@@ -116,9 +142,25 @@ func (r *Registry) LookupProducers(table string, now float64) ([]gma.Advertiseme
 	return ads, err
 }
 
-// LookupProducersStats is LookupProducers with work accounting.
+// LookupProducersStats is LookupProducers with work accounting. The
+// steady-state lookup (nothing to expire) runs under the read lock;
+// expiry upgrades to the exclusive lock with a re-check.
 func (r *Registry) LookupProducersStats(table string, now float64) ([]gma.Advertisement, QueryStats, error) {
+	r.mu.RLock()
+	if !r.anyExpired(now) {
+		defer r.mu.RUnlock()
+		return r.lookup(table)
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.expire(now)
+	return r.lookup(table)
+}
+
+// lookup answers the table's producers from the table-name index.
+// Callers hold mu (either mode).
+func (r *Registry) lookup(table string) ([]gma.Advertisement, QueryStats, error) {
 	t, _ := r.db.Table("producers")
 	rows, indexed := t.LookupIndexed("table_name", relational.StrVal(table))
 	st := QueryStats{ThreadSpawns: 1}
@@ -143,6 +185,8 @@ func (r *Registry) LookupProducersStats(table string, now float64) ([]gma.Advert
 
 // Tables lists the distinct tables currently advertised, sorted.
 func (r *Registry) Tables(now float64) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.expire(now)
 	res, err := r.db.Exec("SELECT table_name FROM producers ORDER BY table_name")
 	if err != nil {
@@ -160,6 +204,8 @@ func (r *Registry) Tables(now float64) []string {
 
 // NumRegistered reports the number of live advertisements.
 func (r *Registry) NumRegistered(now float64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.expire(now)
 	t, _ := r.db.Table("producers")
 	return t.Len()

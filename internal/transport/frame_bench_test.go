@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The frame benchmarks measure the read loop's per-frame cost: ReadFrame
+// allocates a fresh payload buffer per frame, ReadFrameBuf reuses one
+// grow-only buffer the way the server's per-connection loop does. The
+// request below is a realistic grid.query frame (~100 bytes of JSON).
+
+func frameBytes(b *testing.B) []byte {
+	var buf bytes.Buffer
+	req := requestFrame{V: 2, Op: "grid.query",
+		Body: []byte(`{"system":"MDS","role":"Aggregate Information Server","expr":"(objectclass=MdsCpu)"}`)}
+	if err := WriteFrame(&buf, req); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkReadFrame(b *testing.B) {
+	frame := frameBytes(b)
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var req requestFrame
+		if err := ReadFrame(r, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFrameBuf(b *testing.B) {
+	frame := frameBytes(b)
+	r := bytes.NewReader(frame)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var req requestFrame
+		if err := ReadFrameBuf(r, &buf, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

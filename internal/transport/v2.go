@@ -278,7 +278,7 @@ func (c *Client) exchange(_ context.Context, frame requestFrame, op string, resp
 		return err
 	}
 	var rf responseFrame
-	if err := ReadFrame(c.r, &rf); err != nil {
+	if err := ReadFrameBuf(c.r, &c.buf, &rf); err != nil {
 		return err
 	}
 	if rf.V < 2 {

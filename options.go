@@ -19,6 +19,7 @@ type config struct {
 	clock             func() float64
 	advertiseInterval float64
 	streamBuffer      int
+	queryCacheTTL     time.Duration
 }
 
 // DefaultStreamBuffer is the per-subscription event buffer bound used
@@ -136,6 +137,30 @@ func WithStreamBuffer(n int) Option {
 			return fmt.Errorf("gridmon: WithStreamBuffer(%d): need a positive buffer", n)
 		}
 		c.streamBuffer = n
+		return nil
+	}
+}
+
+// WithQueryCache puts a GIIS-style result cache in front of Query,
+// modeled on the cache behind the paper's >10x "data always in cache"
+// throughput (Figures 5–6): an identical Query (same System, Role, Host,
+// Expr and Attrs) repeated within ttl is answered from the cached
+// records without touching any engine. Work on a hit reports CacheHits=1
+// and no engine accounting; on a miss the engine's Work is returned with
+// CacheMisses=1. The whole cache is invalidated when grid state advances
+// (Advance, Advertise, or a legacy write serialized through the facade),
+// so a cached answer is never older than both ttl and the last
+// monitoring round.
+//
+// Cached records are shared between hits: callers must treat returned
+// ResultSet records as read-only (the transport server, which only
+// encodes them, always may cache).
+func WithQueryCache(ttl time.Duration) Option {
+	return func(c *config) error {
+		if ttl <= 0 {
+			return fmt.Errorf("gridmon: WithQueryCache(%v): need a positive TTL", ttl)
+		}
+		c.queryCacheTTL = ttl
 		return nil
 	}
 }

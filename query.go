@@ -86,31 +86,70 @@ func CodeOf(err error) ErrorCode { return transport.ErrorCode(err) }
 // serving component checks it before starting, and the fan-out
 // components (the GIIS aggregate and the mediated ConsumerServlet) check
 // it again between sub-queries. Query is safe for concurrent use with
-// Advance and Subscribe.
+// Advance and Subscribe, and runs under the facade's read lock:
+// independent queries are served in parallel, while the state-changing
+// paths (Advance, Advertise, legacy writes) exclude them.
+//
+// With WithQueryCache configured, an identical query repeated within the
+// TTL is answered from the cache without taking the facade lock at all;
+// Work then reports CacheHits=1 and no engine accounting.
 func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
-		return nil, transport.AsError(err)
-	}
-	g.mu.Lock()
-	rq, err := g.querier(q)
-	if err != nil {
-		g.mu.Unlock()
-		return nil, err
-	}
-	records, work, err := rq.QueryRecords(ctx, g.clock())
-	g.mu.Unlock()
-	if err != nil {
 		return nil, transport.AsError(err)
 	}
 	role := q.Role
 	if role == "" {
 		role = RoleInformationServer
 	}
+	var key cacheKey
+	if g.cache != nil {
+		key = keyFor(q, role)
+		if e, ok := g.cache.lookup(key, start); ok {
+			// A hit did no engine work: only the response-shaped fields
+			// carry over from the cached computation.
+			work := Work{
+				CacheHits:       1,
+				RecordsReturned: e.work.RecordsReturned,
+				ResponseBytes:   e.work.ResponseBytes,
+			}
+			return &ResultSet{
+				System:  q.System,
+				Role:    role,
+				Host:    q.Host,
+				Records: e.records,
+				Work:    work,
+				Elapsed: time.Since(start),
+			}, nil
+		}
+	}
+	g.mu.RLock()
+	rq, err := g.querier(q)
+	if err != nil {
+		g.mu.RUnlock()
+		return nil, err
+	}
+	var gen uint64
+	if g.cache != nil {
+		// Read the cache generation while holding the read lock: an
+		// Advance cannot run concurrently, so the records below are
+		// computed at exactly this generation and the store after the
+		// unlock can never publish pre-Advance data as fresh.
+		gen = g.cache.gen.Load()
+	}
+	records, work, err := rq.QueryRecords(ctx, g.clock())
+	g.mu.RUnlock()
+	if err != nil {
+		return nil, transport.AsError(err)
+	}
 	// MDS applies Attrs natively inside the LDAP query (so Work reflects
 	// the projected response); the other systems project here.
 	if q.System != MDS {
 		records = core.ProjectRecords(records, q.Attrs)
+	}
+	if g.cache != nil {
+		g.cache.store(key, gen, start, records, work)
+		work.CacheMisses = 1
 	}
 	return &ResultSet{
 		System:  q.System,
