@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all ci fmt vet build test race stress load-smoke bench bench-json bench-compare
+.PHONY: all ci fmt vet lint build test race stress load-smoke bench bench-json bench-compare
 
 all: ci
 
-# ci is the gate GitHub Actions runs: formatting, static checks, the
-# tier-1 build/test pass, the race-detector pass, and a one-iteration
-# benchmark smoke run.
-ci: fmt vet build test race bench
+# ci is the gate GitHub Actions runs: formatting, static checks (go vet
+# plus the repo's own gridmon-vet analyzers), the tier-1 build/test
+# pass, the race-detector pass, and a one-iteration benchmark smoke run.
+ci: fmt vet lint build test race bench
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -17,6 +17,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the custom analyzer suite (lockcheck, simdet, workacct,
+# ctxflow, wirecode — see README "Static analysis") over the module.
+lint:
+	$(GO) run ./cmd/gridmon-vet ./...
 
 build:
 	$(GO) build ./...

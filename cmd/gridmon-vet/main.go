@@ -1,0 +1,98 @@
+// Command gridmon-vet is the repo's custom static-analysis gate: a
+// multichecker running the five analyzers that enforce the invariants
+// the README's Concurrency model section promises in prose.
+//
+// Usage:
+//
+//	gridmon-vet [-list] [-run name,name] [packages]
+//
+// Packages default to ./... . Exit status 1 means findings, 2 means
+// the analysis itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/simdet"
+	"repro/internal/analysis/wirecode"
+	"repro/internal/analysis/workacct"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	ctxflow.Analyzer,
+	lockcheck.Analyzer,
+	simdet.Analyzer,
+	wirecode.Analyzer,
+	workacct.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *run != "" {
+		byName := make(map[string]*framework.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gridmon-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridmon-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := framework.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridmon-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", relPos(d), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relPos shortens absolute file paths to the working directory.
+func relPos(d framework.Diagnostic) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return d.Pos.String()
+	}
+	s := d.Pos.String()
+	if strings.HasPrefix(s, wd+string(os.PathSeparator)) {
+		return s[len(wd)+1:]
+	}
+	return s
+}

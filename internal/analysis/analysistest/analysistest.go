@@ -1,0 +1,151 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against `// want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (which the module cannot
+// depend on).
+//
+// Layout: each test package lives at <testdata>/src/<name>/. Imports of
+// a bare path that exists under src/ resolve to that local stub;
+// everything else resolves through the module/standard library.
+//
+// Expectations: a comment `// want "re"` (double- or back-quoted Go
+// string, several per comment allowed) on a line asserts that the
+// analyzer reports diagnostics on that line whose messages match the
+// regexps, in order. Lines without a want comment must produce no
+// diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the named packages from testdata/src and applies the
+// analyzer, reporting any mismatch between its diagnostics and the
+// want comments as test failures.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	loaded, err := framework.LoadTestdata(srcRoot, pkgs...)
+	if err != nil {
+		t.Fatalf("loading testdata packages %v: %v", pkgs, err)
+	}
+	diags, err := framework.RunAnalyzers(loaded, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := map[string][]*expectation{} // "file:line" -> expectations
+	for _, pkg := range loaded {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					exps, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					if len(exps) == 0 {
+						continue
+					}
+					key := posKey(pos)
+					wants[key] = append(wants[key], exps...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		exps := wants[key]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, e.raw)
+			}
+		}
+	}
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// parseWant extracts the quoted regexps of a want comment (nil when the
+// comment has none).
+func parseWant(text string) ([]*expectation, error) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(m[1])
+	var exps []*expectation
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, fmt.Errorf("unterminated want string: %s", rest)
+			}
+			lit = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want string: %s", rest)
+			}
+			lit = rest[:end+2]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want expects quoted regexps, got: %s", rest)
+		}
+		s, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want string %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", s, err)
+		}
+		exps = append(exps, &expectation{re: re, raw: s})
+	}
+	return exps, nil
+}

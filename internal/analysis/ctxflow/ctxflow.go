@@ -1,0 +1,151 @@
+// Package ctxflow keeps cancellation honest. Query deadlines only
+// reach the engines if every layer threads the caller's ctx; a
+// context.Background() in a library package or a call to the ctx-free
+// variant of a method silently detaches the work from the deadline.
+//
+// Rules:
+//
+//  1. library packages (anything but package main; tests are not
+//     analyzed) must not call context.Background() or context.TODO();
+//  2. inside a function that receives a ctx parameter, a call to a
+//     method M with no context parameter is flagged when the receiver
+//     also has an MCtx method whose first parameter is a
+//     context.Context — the ctx-threading variant exists, use it.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background()/TODO() in library packages; functions holding a ctx must call the Ctx variant of methods that have one",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		if !isMain {
+			checkRoots(pass, f)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass, fd) {
+				continue
+			}
+			checkThreading(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkRoots flags context.Background()/TODO() calls anywhere in a
+// library file.
+func checkRoots(pass *framework.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		switch fn.FullName() {
+		case "context.Background", "context.TODO":
+			pass.Reportf(call.Pos(),
+				"%s in a library package detaches work from the caller's deadline; accept a ctx instead", fn.FullName())
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether fd receives a context.Context parameter.
+func hasCtxParam(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkThreading flags ctx-free method calls whose receiver offers a
+// Ctx-threading variant.
+func checkThreading(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.MethodVal {
+			return true
+		}
+		fn, ok := s.Obj().(*types.Func)
+		if !ok || takesContext(fn) {
+			return true
+		}
+		recv := pass.TypesInfo.Types[sel.X].Type
+		variant := ctxVariant(pass, recv, fn.Name())
+		if variant == nil {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s ignores the ctx in scope; call %s to thread the caller's deadline", fn.Name(), variant.Name())
+		return true
+	})
+}
+
+// takesContext reports whether any parameter of fn is a context.Context.
+func takesContext(fn *types.Func) bool {
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxVariant looks up a method named name+"Ctx" on recv whose first
+// parameter is a context.Context.
+func ctxVariant(pass *framework.Pass, recv types.Type, name string) *types.Func {
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, pass.Pkg, name+"Ctx")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	params := fn.Type().(*types.Signature).Params()
+	if params.Len() == 0 || !isContext(params.At(0).Type()) {
+		return nil
+	}
+	return fn
+}

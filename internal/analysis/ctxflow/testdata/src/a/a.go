@@ -1,0 +1,48 @@
+// Package a exercises ctxflow: detached roots and unthreaded ctx.
+package a
+
+import "context"
+
+// DB has both variants of Query.
+type DB struct{}
+
+// Query answers without a deadline.
+func (d *DB) Query(q string) int { return len(q) }
+
+// QueryCtx answers under the caller's deadline.
+func (d *DB) QueryCtx(ctx context.Context, q string) int { return len(q) }
+
+// Scan has no Ctx variant.
+func (d *DB) Scan() int { return 0 }
+
+// Use holds a ctx but calls the detached variant.
+func Use(ctx context.Context, d *DB) int {
+	return d.Query("x") // want `Query ignores the ctx in scope; call QueryCtx`
+}
+
+// UseGood threads the ctx.
+func UseGood(ctx context.Context, d *DB) int {
+	return d.QueryCtx(ctx, "x")
+}
+
+// UseScan calls a method that has no Ctx variant: fine.
+func UseScan(ctx context.Context, d *DB) int {
+	return d.Scan()
+}
+
+// Shim has no ctx to thread, so the detached call is allowed by rule 2
+// (rule 1 still forbids conjuring a root here).
+func Shim(d *DB) int {
+	return d.Query("x")
+}
+
+// Root conjures a detached context in library code.
+func Root(d *DB) int {
+	return d.QueryCtx(context.Background(), "x") // want `context.Background in a library package`
+}
+
+// RootSuppressed is the compat-shim escape hatch.
+func RootSuppressed(d *DB) int {
+	//gridmon:nolint ctxflow v1 compat shim, no deadline to propagate
+	return d.QueryCtx(context.Background(), "x")
+}

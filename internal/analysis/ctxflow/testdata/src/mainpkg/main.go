@@ -1,0 +1,9 @@
+// Command mainpkg shows that rule 1 does not bind package main: a
+// binary's entry point is where context roots belong.
+package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}

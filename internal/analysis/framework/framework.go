@@ -1,0 +1,196 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis: an Analyzer runs over one
+// type-checked package (a Pass) and reports Diagnostics. The repo
+// cannot depend on x/tools (the module is deliberately dependency
+// free), so gridmon-vet's analyzers build on this instead; the API
+// mirrors go/analysis closely enough that porting them to the real
+// multichecker later is mechanical.
+//
+// Suppression: a comment of the form
+//
+//	//gridmon:nolint <analyzer>[,<analyzer>...] [reason]
+//
+// on the offending line, or alone on the line directly above it,
+// suppresses those analyzers' diagnostics (a bare //gridmon:nolint
+// suppresses every analyzer). The reason is free text and strongly
+// encouraged — a suppression without one reads as an accident.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint comments.
+	Name string
+	// Doc is the one-paragraph description `gridmon-vet -list` prints.
+	Doc string
+	// Run reports the analyzer's findings on one package via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// nolintRe matches the suppression comment grammar.
+var nolintRe = regexp.MustCompile(`^//gridmon:nolint(?:\s+([A-Za-z0-9_,-]+))?`)
+
+// nolintSite is one suppression: a file line plus the analyzer names it
+// silences (empty = all).
+type nolintSite struct {
+	names map[string]bool // nil means every analyzer
+	alone bool            // the comment is the only thing on its line
+}
+
+// nolintSites extracts the suppressions of one file, keyed by line.
+func nolintSites(fset *token.FileSet, f *ast.File) map[int]nolintSite {
+	sites := make(map[int]nolintSite)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := nolintRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			site := nolintSite{}
+			if m[1] != "" {
+				site.names = make(map[string]bool)
+				for _, n := range strings.Split(m[1], ",") {
+					site.names[n] = true
+				}
+			}
+			pos := fset.Position(c.Pos())
+			// A comment that starts its line suppresses the next line
+			// too (the conventional "annotation above the statement"
+			// placement).
+			site.alone = pos.Column == 1 || onlyWhitespaceBefore(fset, f, c)
+			sites[pos.Line] = site
+		}
+	}
+	return sites
+}
+
+// onlyWhitespaceBefore reports whether c is the first token on its line
+// (an annotation line rather than a trailing comment).
+func onlyWhitespaceBefore(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// Walk the file's comments and declarations is overkill; the file
+	// content is not retained, so approximate: a trailing comment
+	// usually sits past column 1. Treat column <= 1 handled by caller;
+	// otherwise check no declaration starts on that line before the
+	// comment column.
+	line := pos.Line
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		p := fset.Position(n.Pos())
+		if p.Line == line && p.Column < pos.Column {
+			if _, isFile := n.(*ast.File); !isFile {
+				found = true
+			}
+		}
+		return !found
+	})
+	return !found
+}
+
+// suppressed reports whether d is silenced by a nolint site on its own
+// line, or by a standalone nolint comment on the line above.
+func suppressed(d Diagnostic, sites map[int]nolintSite) bool {
+	match := func(s nolintSite, ok bool) bool {
+		if !ok {
+			return false
+		}
+		return s.names == nil || s.names[d.Analyzer]
+	}
+	if s, ok := sites[d.Pos.Line]; match(s, ok) {
+		return true
+	}
+	if s, ok := sites[d.Pos.Line-1]; ok && s.alone && match(s, true) {
+		return true
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics in deterministic (file, line, column, analyzer)
+// order. Suppressed findings are dropped here, so analyzers never need
+// to know about nolint.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sites := make(map[string]map[int]nolintSite)
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			sites[name] = nolintSites(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !suppressed(d, sites[d.Pos.Filename]) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package framework
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestLoadModule type-checks a real module package, stdlib dependency
+// graph included, without network or a module cache.
+func TestLoadModule(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/sim")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Name != "sim" {
+		t.Errorf("package name = %q, want sim", p.Name)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Errorf("package missing types/info/files: %+v", p)
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Error("Info.Uses is empty; full type info expected for targets")
+	}
+}
+
+const nolintSrc = `package p
+
+func a() int { return 1 } //gridmon:nolint testcheck same-line reason
+
+//gridmon:nolint testcheck annotation above
+func b() int { return 2 }
+
+//gridmon:nolint othercheck wrong analyzer
+func c() int { return 3 }
+
+//gridmon:nolint
+func d() int { return 4 }
+
+func e() int { return 5 }
+`
+
+// TestNolintSuppression exercises the suppression grammar: same line,
+// line above, name filtering, and the bare form.
+func TestNolintSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", nolintSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := nolintSites(fset, f)
+
+	diagAt := func(line int) Diagnostic {
+		return Diagnostic{
+			Analyzer: "testcheck",
+			Pos:      token.Position{Filename: "p.go", Line: line},
+		}
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{3, true},   // a: same-line nolint
+		{6, true},   // b: nolint on the line above
+		{9, false},  // c: nolint names a different analyzer
+		{12, true},  // d: bare nolint silences everything
+		{14, false}, // e: no nolint in sight
+	}
+	for _, tc := range cases {
+		if got := suppressed(diagAt(tc.line), sites); got != tc.want {
+			t.Errorf("line %d: suppressed = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package other is not gated: simdet ignores it entirely.
+package other
+
+import "time"
+
+// Wall is fine here; determinism rules only bind the sim packages.
+func Wall() time.Time {
+	go func() {}()
+	return time.Now()
+}

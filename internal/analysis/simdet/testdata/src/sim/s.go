@@ -1,0 +1,15 @@
+// Package sim is the kernel: goroutine launches are allowed here, but
+// wall clocks and global randomness still are not.
+package sim
+
+import "time"
+
+// Go is the kernel's own scheduler entry point.
+func Go(f func()) {
+	go f()
+}
+
+// Bad still may not read the wall clock, even inside the kernel.
+func Bad() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}

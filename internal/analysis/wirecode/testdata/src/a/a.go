@@ -1,0 +1,58 @@
+// Package a exercises wirecode on v2 handler registrations.
+package a
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"transport"
+)
+
+// Req is a request body.
+type Req struct{ Q string }
+
+// Resp is a response body.
+type Resp struct{ N int }
+
+// Register wires the handlers.
+func Register(s *transport.Server) {
+	transport.Handle(s, "good", func(ctx context.Context, r Req) (Resp, error) {
+		if r.Q == "" {
+			return Resp{}, transport.Errf(transport.CodeExec, "empty query")
+		}
+		return Resp{N: len(r.Q)}, nil
+	})
+	transport.Handle(s, "bad", func(ctx context.Context, r Req) (Resp, error) {
+		return Resp{}, fmt.Errorf("boom: %s", r.Q) // want `fmt.Errorf crosses the v2 wire`
+	})
+	transport.Handle(s, "bad2", func(ctx context.Context, r Req) (Resp, error) {
+		return Resp{}, errors.New("boom") // want `errors.New crosses the v2 wire`
+	})
+	transport.Handle(s, "named", named)
+	transport.HandleStream(s, "stream", func(ctx context.Context, q string) error {
+		return fmt.Errorf("stream boom") // want `fmt.Errorf crosses the v2 wire`
+	})
+	transport.Handle(s, "nested", func(ctx context.Context, r Req) (Resp, error) {
+		// The nested literal is not a handler; its returns are free.
+		f := func() error { return fmt.Errorf("internal detail") }
+		if err := f(); err != nil {
+			return Resp{}, transport.Errf(transport.CodeExec, "wrapped: %v", err)
+		}
+		return Resp{}, nil
+	})
+	transport.Handle(s, "suppressed", func(ctx context.Context, r Req) (Resp, error) {
+		//gridmon:nolint wirecode legacy op, clients only check the message
+		return Resp{}, fmt.Errorf("grandfathered")
+	})
+}
+
+// named is a handler passed by name.
+func named(ctx context.Context, r Req) (Resp, error) {
+	return Resp{}, fmt.Errorf("named boom") // want `fmt.Errorf crosses the v2 wire`
+}
+
+// helper is not a handler: bare errors are fine in ordinary code.
+func helper() error {
+	return fmt.Errorf("not on the wire")
+}

@@ -1,0 +1,36 @@
+// Package transport is a stub of the repo's transport package: just
+// enough surface for wirecode to recognize handler registrations.
+package transport
+
+import (
+	"context"
+	"fmt"
+)
+
+// Server registers ops.
+type Server struct{}
+
+// Code classifies a failure.
+type Code string
+
+// CodeExec is the catch-all failure code.
+const CodeExec Code = "exec_error"
+
+// Error is a structured failure.
+type Error struct {
+	Code    Code
+	Message string
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errf builds a coded error.
+func Errf(code Code, format string, args ...interface{}) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Handle registers a typed v2 handler.
+func Handle[Req, Resp any](s *Server, op string, fn func(context.Context, Req) (Resp, error)) {}
+
+// HandleStream registers a streaming handler.
+func HandleStream(s *Server, op string, fn func(context.Context, string) error) {}

@@ -1,0 +1,137 @@
+// Package wirecode keeps v2 wire errors structured. A handler
+// registered with transport.Handle/HandleStream that returns a bare
+// fmt.Errorf or errors.New loses its machine-readable code on the
+// wire (the client sees CodeExec for everything); handlers must build
+// failures with transport.Errf so the code survives the round trip.
+//
+// The check covers error expressions in return statements of handler
+// function literals and of same-package named functions passed as
+// handlers. Errors built elsewhere and returned through a variable are
+// out of scope (flow-insensitive).
+package wirecode
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the wirecode analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "wirecode",
+	Doc:  "transport v2 handlers must return structured transport.Errf errors, not bare fmt.Errorf/errors.New",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	checked := make(map[*ast.FuncDecl]bool)
+	decls := namedFuncs(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isHandlerRegistration(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch h := arg.(type) {
+				case *ast.FuncLit:
+					checkHandlerBody(pass, h.Body)
+				case *ast.Ident:
+					if fd := decls[pass.TypesInfo.Uses[h]]; fd != nil && !checked[fd] {
+						checked[fd] = true
+						checkHandlerBody(pass, fd.Body)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// namedFuncs indexes the package's function declarations by object, so
+// a handler passed by name can be checked too.
+func namedFuncs(pass *framework.Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[pass.TypesInfo.Defs[fd.Name]] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// isHandlerRegistration recognizes transport.Handle / HandleStream /
+// (*Server).Handle calls.
+func isHandlerRegistration(pass *framework.Pass, call *ast.CallExpr) bool {
+	fun := call.Fun
+	if ix, ok := fun.(*ast.IndexExpr); ok { // explicit instantiation
+		fun = ix.X
+	} else if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ix.X
+	}
+	var id *ast.Ident
+	switch x := fun.(type) {
+	case *ast.SelectorExpr:
+		id = x.Sel
+	case *ast.Ident:
+		id = x
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "transport" {
+		return false
+	}
+	switch fn.Name() {
+	case "Handle", "HandleStream":
+		return true
+	}
+	return false
+}
+
+// checkHandlerBody flags bare-error constructors in the handler's own
+// return statements (not those of nested function literals).
+func checkHandlerBody(pass *framework.Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns are not handler returns
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				checkReturnExpr(pass, res)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkReturnExpr flags fmt.Errorf / errors.New calls anywhere in one
+// returned expression.
+func checkReturnExpr(pass *framework.Pass, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		switch fn.FullName() {
+		case "fmt.Errorf", "errors.New":
+			pass.Reportf(call.Pos(),
+				"%s crosses the v2 wire without a code (clients see code=exec_error); use transport.Errf", fn.FullName())
+		}
+		return true
+	})
+}

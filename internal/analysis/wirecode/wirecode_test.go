@@ -1,0 +1,12 @@
+package wirecode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecode"
+)
+
+func TestWirecode(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecode.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+// Package a exercises workacct's conversion-function rules.
+package a
+
+// Work is the accounting aggregate (a miniature of core.Work).
+type Work struct {
+	Visited int
+	Bytes   int
+	Hits    int
+}
+
+// QueryStats is one engine's counters.
+type QueryStats struct {
+	EntriesVisited int
+	ResponseBytes  int
+	IndexHits      int
+
+	internal int // unexported: conversion functions may ignore it
+}
+
+// GoodWork reads every counter and names every Work field.
+func GoodWork(st QueryStats) Work {
+	return Work{
+		Visited: st.EntriesVisited,
+		Bytes:   st.ResponseBytes,
+		Hits:    st.IndexHits,
+	}
+}
+
+// DropWork never reads IndexHits.
+func DropWork(st QueryStats) Work { // want `DropWork drops QueryStats.IndexHits on the floor`
+	return Work{
+		Visited: st.EntriesVisited,
+		Bytes:   st.ResponseBytes,
+		Hits:    0,
+	}
+}
+
+// SparseWork reads everything but leaves Work fields implicit.
+func SparseWork(st QueryStats) Work {
+	_ = st.IndexHits
+	return Work{ // want `Work literal omits Hits`
+		Visited: st.EntriesVisited,
+		Bytes:   st.ResponseBytes,
+	}
+}
+
+// PositionalWork sets all fields positionally: the compiler enforces
+// exhaustiveness, so workacct accepts it.
+func PositionalWork(st QueryStats) Work {
+	return Work{st.EntriesVisited, st.ResponseBytes, st.IndexHits}
+}
+
+// ErrWork returns (Work, error): still a conversion function.
+func ErrWork(st QueryStats) (Work, error) {
+	return Work{ // want `Work literal omits Bytes, Hits`
+		Visited: st.EntriesVisited + st.ResponseBytes + st.IndexHits,
+	}, nil
+}
+
+// NotAConversion takes a plain int; the rules do not apply.
+func NotAConversion(n int) Work {
+	return Work{Visited: n}
+}
+
+// Summarize returns no Work; the rules do not apply either.
+func Summarize(st QueryStats) int {
+	return st.EntriesVisited
+}

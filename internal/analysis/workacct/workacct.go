@@ -1,0 +1,177 @@
+// Package workacct keeps the logical work accounting honest. The
+// paper reproduction's throughput model is only as good as the
+// counters the engines feed into core.Work, so the adapter layer that
+// converts engine stats types must not silently drop any of them.
+//
+// A conversion function is one that takes a single engine stats value
+// (a named struct type ending in Stats or Info, or named Result) and
+// returns a value of a type named Work. In such functions the analyzer
+// enforces:
+//
+//  1. every exported field of the stats parameter is read somewhere in
+//     the body (a dropped field means an engine counted work that the
+//     facade never reports), and
+//  2. every Work composite literal names every Work field explicitly —
+//     a new Work counter then breaks the build of every adapter until
+//     each one decides what feeds it (zero is fine, implicit is not).
+package workacct
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the workacct analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "workacct",
+	Doc:  "engine stats→Work conversion functions must read every stats counter and populate every Work field explicitly",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			stats, work := conversionShape(pass, fd)
+			if stats == nil || work == nil {
+				continue
+			}
+			checkStatsRead(pass, fd, stats)
+			checkWorkLiterals(pass, fd, work)
+		}
+	}
+	return nil
+}
+
+// conversionShape recognizes a stats→Work conversion function and
+// returns the stats parameter type and the Work result type (nil, nil
+// otherwise).
+func conversionShape(pass *framework.Pass, fd *ast.FuncDecl) (*types.Named, *types.Named) {
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() == 0 {
+		return nil, nil
+	}
+	stats := namedStruct(sig.Params().At(0).Type())
+	if stats == nil || !statsName(stats.Obj().Name()) {
+		return nil, nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if w := namedStruct(sig.Results().At(i).Type()); w != nil && w.Obj().Name() == "Work" {
+			return stats, w
+		}
+	}
+	return nil, nil
+}
+
+func statsName(name string) bool {
+	return strings.HasSuffix(name, "Stats") || strings.HasSuffix(name, "Info") || name == "Result"
+}
+
+// namedStruct unwraps pointers and returns the named struct type of t,
+// or nil.
+func namedStruct(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// checkStatsRead flags exported stats fields the body never selects.
+func checkStatsRead(pass *framework.Pass, fd *ast.FuncDecl, stats *types.Named) {
+	st := stats.Underlying().(*types.Struct)
+	unread := make(map[*types.Var]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			unread[f] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				delete(unread, v)
+			}
+		}
+		return true
+	})
+	if len(unread) == 0 {
+		return
+	}
+	var names []string
+	for f := range unread {
+		names = append(names, f.Name())
+	}
+	sort.Strings(names)
+	pass.Reportf(fd.Name.Pos(), "%s drops %s.%s on the floor; every engine counter must reach Work (or be suppressed with a reason)",
+		fd.Name.Name, stats.Obj().Name(), strings.Join(names, ", "))
+}
+
+// checkWorkLiterals flags Work composite literals that leave fields
+// implicit.
+func checkWorkLiterals(pass *framework.Pass, fd *ast.FuncDecl, work *types.Named) {
+	st := work.Underlying().(*types.Struct)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[lit]
+		if !ok || namedStruct(tv.Type) != work {
+			return true
+		}
+		missing := missingFields(st, lit)
+		if len(missing) > 0 {
+			pass.Reportf(lit.Pos(), "Work literal omits %s; name every counter explicitly (zero is fine, implicit is not)",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+// missingFields lists the struct fields lit does not set.
+func missingFields(st *types.Struct, lit *ast.CompositeLit) []string {
+	if len(lit.Elts) > 0 {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			// Positional literal: the type checker already requires all
+			// fields.
+			return nil
+		}
+	}
+	set := make(map[string]bool)
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+		}
+	}
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); !set[f.Name()] {
+			missing = append(missing, f.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

@@ -1,0 +1,12 @@
+package workacct_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/workacct"
+)
+
+func TestWorkacct(t *testing.T) {
+	analysistest.Run(t, "testdata", workacct.Analyzer, "a")
+}
