@@ -165,13 +165,13 @@ func BuildProducerServletUsers(cal Calibration, fromUC bool) Builder {
 				if err != nil {
 					return node.Demand{}, err
 				}
-				w = rgmaWork(st)
+				w = core.RGMAWork(st)
 			} else {
 				_, st, err := pserv.Query(now, "SELECT * FROM siteinfo")
 				if err != nil {
 					return node.Demand{}, err
 				}
-				w = rgmaWork(st)
+				w = core.RGMAWork(st)
 			}
 			d := cal.ProducerServletDemand(w, n)
 			if fromUC {
@@ -189,16 +189,6 @@ func BuildProducerServletUsers(cal Calibration, fromUC bool) Builder {
 			Users:     x,
 			Query:     query,
 		}, nil
-	}
-}
-
-func rgmaWork(st rgma.QueryStats) core.Work {
-	return core.Work{
-		RecordsVisited:  st.RowsScanned,
-		RecordsReturned: st.RowsReturned,
-		Subqueries:      st.ProducersContacted + st.RegistryLookups,
-		ThreadSpawns:    st.ThreadSpawns,
-		ResponseBytes:   st.ResponseBytes,
 	}
 }
 
@@ -444,7 +434,7 @@ func BuildProducerServletCollectors(cal Calibration) Builder {
 				if err != nil {
 					return node.Demand{}, err
 				}
-				return cal.ProducerServletDemand(rgmaWork(st), pserv.NumProducers()), nil
+				return cal.ProducerServletDemand(core.RGMAWork(st), pserv.NumProducers()), nil
 			},
 		}, nil
 	}
