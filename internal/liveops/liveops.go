@@ -52,9 +52,11 @@ type OpResponse struct {
 }
 
 // opFunc is one op's shared implementation, used by both protocol
-// generations. Returned errors should be *transport.Error to carry a
-// structured code; plain errors are classified as exec failures.
-type opFunc func(params map[string]string) (string, error)
+// generations. The ctx is the caller's: v2 handlers pass the propagated
+// wire deadline through, the v1 shim has none to give. Returned errors
+// should be *transport.Error to carry a structured code; plain errors
+// are classified as exec failures.
+type opFunc func(ctx context.Context, params map[string]string) (string, error)
 
 // Register installs every operation on the server, in both protocol
 // generations:
@@ -77,12 +79,12 @@ func Register(srv *transport.Server, dep Deployment) {
 	// Every op runs inside the deployment's serializer before touching
 	// the shared components.
 	serialized := func(op string, fn opFunc) {
-		register(srv, op, func(params map[string]string) (payload string, err error) {
-			serialize(func() { payload, err = fn(params) })
+		register(srv, op, func(ctx context.Context, params map[string]string) (payload string, err error) {
+			serialize(func() { payload, err = fn(ctx, params) })
 			return payload, err
 		})
 	}
-	serialized("mds.query", func(params map[string]string) (string, error) {
+	serialized("mds.query", func(ctx context.Context, params map[string]string) (string, error) {
 		if dep.GIIS == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
 		}
@@ -98,19 +100,19 @@ func Register(srv *transport.Server, dep Deployment) {
 		if a := params["attrs"]; a != "" {
 			attrs = strings.Split(a, ",")
 		}
-		entries, _, err := dep.GIIS.Query(now(), filter, attrs)
+		entries, _, err := dep.GIIS.QueryCtx(ctx, now(), filter, attrs)
 		if err != nil {
 			return "", err
 		}
 		return ldap.FormatResults(entries), nil
 	})
-	serialized("mds.hosts", func(map[string]string) (string, error) {
+	serialized("mds.hosts", func(context.Context, map[string]string) (string, error) {
 		if dep.GIIS == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "MDS is not deployed on this server")
 		}
 		return strings.Join(dep.GIIS.Hosts(now()), "\n"), nil
 	})
-	serialized("rgma.query", func(params map[string]string) (string, error) {
+	serialized("rgma.query", func(ctx context.Context, params map[string]string) (string, error) {
 		if dep.Consumer == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
 		}
@@ -118,7 +120,7 @@ func Register(srv *transport.Server, dep Deployment) {
 		if sql == "" {
 			return "", transport.Errf(transport.CodeBadRequest, "missing sql parameter")
 		}
-		res, _, err := dep.Consumer.Query(now(), sql)
+		res, _, err := dep.Consumer.QueryCtx(ctx, now(), sql)
 		if err != nil {
 			return "", err
 		}
@@ -135,13 +137,13 @@ func Register(srv *transport.Server, dep Deployment) {
 		}
 		return sb.String(), nil
 	})
-	serialized("rgma.tables", func(map[string]string) (string, error) {
+	serialized("rgma.tables", func(context.Context, map[string]string) (string, error) {
 		if dep.Registry == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "R-GMA is not deployed on this server")
 		}
 		return strings.Join(dep.Registry.Tables(now()), "\n"), nil
 	})
-	serialized("hawkeye.query", func(params map[string]string) (string, error) {
+	serialized("hawkeye.query", func(ctx context.Context, params map[string]string) (string, error) {
 		if dep.Manager == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
 		}
@@ -161,7 +163,7 @@ func Register(srv *transport.Server, dep Deployment) {
 		}
 		return sb.String(), nil
 	})
-	serialized("hawkeye.pool", func(map[string]string) (string, error) {
+	serialized("hawkeye.pool", func(context.Context, map[string]string) (string, error) {
 		if dep.Manager == nil {
 			return "", transport.Errf(transport.CodeUnavailable, "Hawkeye is not deployed on this server")
 		}
@@ -170,17 +172,20 @@ func Register(srv *transport.Server, dep Deployment) {
 }
 
 // register installs one shared implementation under both protocol
-// generations.
+// generations. The v2 registration threads the propagated wire deadline
+// into the op; the v1 protocol never carried one, so its shim runs the
+// op from a background root.
 func register(srv *transport.Server, op string, fn opFunc) {
 	srv.Handle(op, func(req transport.Request) transport.Response {
-		payload, err := fn(req.Params)
+		//gridmon:nolint ctxflow the v1 protocol has no deadline field; there is nothing to propagate
+		payload, err := fn(context.Background(), req.Params)
 		if err != nil {
 			return transport.Response{Error: transport.AsError(err).Message}
 		}
 		return transport.Response{OK: true, Payload: payload}
 	})
-	transport.Handle(srv, op, func(_ context.Context, req OpRequest) (OpResponse, error) {
-		payload, err := fn(req.Params)
+	transport.Handle(srv, op, func(ctx context.Context, req OpRequest) (OpResponse, error) {
+		payload, err := fn(ctx, req.Params)
 		if err != nil {
 			return OpResponse{}, err
 		}

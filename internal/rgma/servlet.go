@@ -145,6 +145,7 @@ func (cs *ConsumerServlet) Attached() int { return cs.attached }
 // Query mediates one SQL SELECT: registry lookup, per-producer-servlet
 // fan-out, merge. Distinct producer servlets are contacted once each.
 func (cs *ConsumerServlet) Query(now float64, sql string) (*relational.Result, QueryStats, error) {
+	//gridmon:nolint ctxflow compat entry point: pre-context callers have no deadline to propagate
 	return cs.QueryCtx(context.Background(), now, sql)
 }
 

@@ -75,6 +75,7 @@ func writeFlush(w *bufio.Writer, v interface{}) error {
 // when the client cancelled explicitly (it is then blocked on the end
 // frame and the read side is quiet again).
 func (s *Server) serveStream(r *bufio.Reader, w *bufio.Writer, req requestFrame, open rawStreamHandler) bool {
+	//gridmon:nolint ctxflow server-side stream root: the client cancels with a wire frame, which the watcher below turns into this ctx's cancel
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	run, herr := open(ctx, req.Body)

@@ -313,6 +313,7 @@ type Client struct {
 
 // Dial connects to a server.
 func Dial(addr string) (*Client, error) {
+	//gridmon:nolint ctxflow compat shim around DialContext for pre-context callers
 	return DialContext(context.Background(), addr)
 }
 

@@ -172,6 +172,7 @@ func (s *Server) dispatchV2(req requestFrame) responseFrame {
 	if h == nil {
 		return v2Failure(Errf(CodeUnknownOp, "unknown op %q (try ops.list)", req.Op))
 	}
+	//gridmon:nolint ctxflow server-side root: the caller's deadline arrives on the wire and is re-armed via WithTimeout below
 	ctx := context.Background()
 	if req.TimeoutMillis > 0 {
 		var cancel context.CancelFunc

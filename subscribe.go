@@ -321,6 +321,7 @@ func (g *Grid) pollWatchersLocked(now float64) {
 			continue
 		}
 		w.nextPoll = now + w.interval
+		//gridmon:nolint ctxflow watcher polls run on the grid's own clock; a subscriber cancels via Subscription.Close, not a ctx
 		recs, work, err := w.q.QueryRecords(context.Background(), now)
 		if err != nil {
 			// The source failed; the watch cannot continue honestly. The
