@@ -59,7 +59,7 @@ type queryCache struct {
 	gen atomic.Uint64
 
 	mu      sync.RWMutex
-	entries map[cacheKey]*cacheEntry
+	entries map[cacheKey]*cacheEntry // guarded by mu
 
 	hits   atomic.Uint64
 	misses atomic.Uint64

@@ -32,8 +32,8 @@ type Grid struct {
 	// and the legacy ops serialized through Serve — take the write lock
 	// and run exclusively, exactly as before.
 	mu       sync.RWMutex
-	subID    uint64        // allocator for subscription ids
-	watchers []*mdsWatcher // active MDS poll-and-diff watchers
+	subID    uint64        // allocator for subscription ids; guarded by mu
+	watchers []*mdsWatcher // active MDS poll-and-diff watchers; guarded by mu
 
 	// cache is the opt-in GIIS-style query result cache (nil without
 	// WithQueryCache).

@@ -20,8 +20,8 @@ type Trigger struct {
 
 	// compiled is the trigger ad prepared for repeated matchmaking,
 	// built by SubmitTrigger so every subsequent Update matches without
-	// re-resolving the Requirements expression. Guarded by the Manager's
-	// lock.
+	// re-resolving the Requirements expression. The Manager's own lock
+	// protects it (out of lockcheck's sibling-mutex grammar).
 	compiled *classad.CompiledMatch
 }
 
@@ -54,9 +54,9 @@ type Manager struct {
 	AdLifetime float64
 
 	mu       sync.RWMutex
-	ads      map[string]*machineAd // indexed by lowercase machine name
-	order    []string
-	triggers []*Trigger
+	ads      map[string]*machineAd // indexed by lowercase machine name; guarded by mu
+	order    []string              // ad insertion order; guarded by mu
+	triggers []*Trigger            // guarded by mu
 }
 
 type machineAd struct {
@@ -74,6 +74,8 @@ func NewManager(name string, adLifetime float64) *Manager {
 // when no ad can expire (AdLifetime zero — reads mutate nothing and run
 // in parallel), otherwise the exclusive lock with expiry applied first.
 // It returns the matching unlock.
+//
+// locks mu (for the calling function, until the returned unlock runs).
 func (m *Manager) lockForRead(now float64) (unlock func()) {
 	if m.AdLifetime <= 0 {
 		m.mu.RLock()

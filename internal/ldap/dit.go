@@ -58,7 +58,7 @@ type DIT struct {
 	// ordMu serializes rebuilds and ordsValid publishes them (see
 	// ensureOrdinals). All other mutation requires external exclusion.
 	ordMu     sync.Mutex
-	ords      []int // id -> global DFS position
+	ords      []int // id -> global DFS position; guarded by ordMu
 	ordsValid atomic.Bool
 }
 

@@ -56,10 +56,10 @@ type GIIS struct {
 	RegistrationTTL float64
 
 	mu        sync.RWMutex
-	dit       *ldap.DIT
-	regs      map[string]*registration
-	regOrder  []string
-	cacheFill map[string]float64 // registration id -> cache expiry
+	dit       *ldap.DIT                // aggregated directory; guarded by mu
+	regs      map[string]*registration // guarded by mu
+	regOrder  []string                 // registration order; guarded by mu
+	cacheFill map[string]float64       // registration id -> cache expiry; guarded by mu
 }
 
 // NewGIIS creates an empty GIIS.
@@ -128,7 +128,7 @@ func hostLevelDN(dn ldap.DN) ldap.DN {
 
 // fill refreshes the cached subtree for one registration, dropping host
 // subtrees the source no longer reports (a downstream resource died and
-// its soft state lapsed below us).
+// its soft state lapsed below us). Callers hold mu exclusively.
 func (g *GIIS) fill(reg *registration, now float64) QueryStats {
 	var st QueryStats
 	entries := reg.src.Snapshot(now)
@@ -158,7 +158,7 @@ func (g *GIIS) fill(reg *registration, now float64) QueryStats {
 
 // expire drops registrations whose soft state lapsed, removing their
 // cached subtrees — the "dynamic cleaning of dead resources" the paper
-// describes.
+// describes. Callers hold mu exclusively.
 func (g *GIIS) expire(now float64) {
 	kept := g.regOrder[:0]
 	for _, id := range g.regOrder {
@@ -181,6 +181,7 @@ func (g *GIIS) expire(now float64) {
 // is effectively infinite). A nil filter matches everything; non-empty
 // attrs project each entry ("query part").
 func (g *GIIS) Query(now float64, filter ldap.Filter, attrs []string) ([]*ldap.Entry, QueryStats, error) {
+	//gridmon:nolint ctxflow compat entry point: pre-context callers have no deadline to propagate
 	return g.QueryCtx(context.Background(), now, filter, attrs)
 }
 

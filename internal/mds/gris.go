@@ -58,9 +58,9 @@ type GRIS struct {
 	CacheTTL float64
 
 	mu        sync.RWMutex
-	providers []*Provider
-	expiry    []float64
-	dit       *ldap.DIT
+	providers []*Provider // immutable after NewGRIS; len() is read lock-free
+	expiry    []float64   // per-provider cache expiry; guarded by mu
+	dit       *ldap.DIT   // cached provider entries; guarded by mu
 }
 
 // NewGRIS creates a GRIS for a host with the given providers. The cache
@@ -111,7 +111,8 @@ func (g *GRIS) fresh(now float64) bool {
 	return true
 }
 
-// refresh invokes provider i and upserts its entries.
+// refresh invokes provider i and upserts its entries. Callers hold mu
+// exclusively.
 func (g *GRIS) refresh(i int, now float64) QueryStats {
 	p := g.providers[i]
 	entries := p.Generate(g.Host, now)

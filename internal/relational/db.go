@@ -15,8 +15,8 @@ type DB struct {
 	// facade's parallel query path) race on the maps. Table DDL and row
 	// mutation still require external exclusion.
 	cacheMu sync.Mutex
-	stmts   map[string]Statement   // Exec's parsed-statement cache
-	plans   map[string]*selectPlan // Exec's compiled SELECT plans
+	stmts   map[string]Statement   // Exec's parsed-statement cache; guarded by cacheMu
+	plans   map[string]*selectPlan // Exec's compiled SELECT plans; guarded by cacheMu
 	// MaxRowsPerTable, when positive, applies a row cap to newly created
 	// tables (see Table.MaxRows).
 	MaxRowsPerTable int

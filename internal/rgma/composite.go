@@ -33,8 +33,8 @@ type CompositeProducer struct {
 	// double-checks its provider cache. The serving itself (a scratch-DB
 	// SELECT over the local copy) runs outside the lock.
 	mu          sync.Mutex
-	lastRefresh float64
-	haveData    bool
+	lastRefresh float64 // guarded by mu
+	haveData    bool    // guarded by mu
 }
 
 // NewCompositeProducer builds a composite over the named table. The

@@ -32,9 +32,9 @@ type Producer struct {
 	Refresh func(now float64) [][]relational.Value
 
 	schema  []relational.Column
-	mu      sync.Mutex // guards rows and lastGen
-	rows    [][]relational.Value
-	lastGen float64
+	mu      sync.Mutex
+	rows    [][]relational.Value // guarded by mu
+	lastGen float64              // guarded by mu
 	hub     *streamHub
 }
 

@@ -58,7 +58,7 @@ type Registry struct {
 	Name string
 
 	mu sync.RWMutex
-	db *relational.DB
+	db *relational.DB // producers table; guarded by mu
 }
 
 var _ gma.Registry = (*Registry)(nil)

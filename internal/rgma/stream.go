@@ -31,7 +31,7 @@ type Subscription struct {
 // refresh — so the subscriber list is mutex-guarded.
 type streamHub struct {
 	mu   sync.Mutex
-	subs []*Subscription
+	subs []*Subscription // guarded by mu
 }
 
 // snapshot copies the subscriber list so fan-out runs without the lock
