@@ -132,6 +132,7 @@ func RunSeries(label string, build Builder, xs []int, par Params) Series {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//gridmon:nolint simdet each worker owns its own sim.Env and writes one disjoint Points slot per index, so the sweep stays bit-identical across worker counts (TestRunSeriesParallelDeterminism)
 		go func() {
 			defer wg.Done()
 			for i := range next {
