@@ -104,16 +104,29 @@ func compareBench(baseline, current map[string]float64) (regressed, missing []st
 	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "base ns/op", "cur ns/op", "delta")
 	for _, name := range names {
 		base, cur := baseline[name], current[name]
-		ratio := cur / base
 		mark := ""
+		var delta string
 		switch {
-		case ratio > regressionThreshold:
+		case base == 0 && cur == 0:
+			delta = "+0.0%"
+		case base == 0:
+			// Undefined ratio: something that cost nothing now costs
+			// something. Flag it instead of printing Inf/NaN noise.
+			delta = "+inf"
 			mark = "  REGRESSION"
 			regressed = append(regressed, name)
-		case ratio < 1/regressionThreshold:
-			mark = "  improved"
+		default:
+			ratio := cur / base
+			delta = fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+			switch {
+			case ratio > regressionThreshold:
+				mark = "  REGRESSION"
+				regressed = append(regressed, name)
+			case ratio < 1/regressionThreshold:
+				mark = "  improved"
+			}
 		}
-		fmt.Printf("%-64s %14.1f %14.1f %+7.1f%%%s\n", name, base, cur, (ratio-1)*100, mark)
+		fmt.Printf("%-64s %14.1f %14.1f %8s%s\n", name, base, cur, delta, mark)
 	}
 	onlyIn := func(a, b map[string]float64, label string) []string {
 		var only []string

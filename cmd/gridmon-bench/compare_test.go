@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// events builds a go-test JSON event stream from (package, output) pairs,
+// the shape `go test -json` emits for benchmark runs.
+func events(t *testing.T, pairs ...[2]string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, p := range pairs {
+		line, err := json.Marshal(benchEvent{Action: "output", Package: p[0], Output: p[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// writeStream records an event stream to a temp file for runCompare.
+func writeStream(t *testing.T, name, stream string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadBenchStitchesSplitOutputEvents(t *testing.T) {
+	// go test flushes the benchmark name before the measurement runs, so
+	// one textual line arrives as several output events — here interleaved
+	// with a second package's events to exercise the per-package stitching.
+	stream := events(t,
+		[2]string{"repro/a", "BenchmarkSplit-8   \t"},
+		[2]string{"repro/b", "BenchmarkOther-8   \t 200 \t 42.0 ns/op\n"},
+		[2]string{"repro/a", " 1000 \t"},
+		[2]string{"repro/a", " 123.5 ns/op \t 16 B/op\n"},
+	)
+	got, err := readBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"BenchmarkSplit": 123.5, "BenchmarkOther": 42.0}
+	if len(got) != len(want) {
+		t.Fatalf("readBench = %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("readBench[%q] = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestReadBenchIgnoresNoise(t *testing.T) {
+	// Non-JSON lines, non-output actions, and ordinary test output must
+	// not produce entries or errors.
+	stream := "not json at all\n" +
+		`{"Action":"run","Package":"repro/a"}` + "\n" +
+		events(t,
+			[2]string{"repro/a", "=== RUN   TestSomething\n"},
+			[2]string{"repro/a", "BenchmarkOnly-4 \t 10 \t 5.0 ns/op\n"},
+		)
+	got, err := readBench(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkOnly"] != 5.0 {
+		t.Fatalf("readBench = %v, want only BenchmarkOnly=5", got)
+	}
+}
+
+func TestCompareBenchMissingFromCurrent(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkKept": 100, "BenchmarkDropped": 50}
+	current := map[string]float64{"BenchmarkKept": 101}
+	regressed, missing := compareBench(baseline, current)
+	if len(regressed) != 0 {
+		t.Errorf("regressed = %v, want none", regressed)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkDropped" {
+		t.Errorf("missing = %v, want [BenchmarkDropped]", missing)
+	}
+}
+
+func TestCompareBenchZeroBaseline(t *testing.T) {
+	// A zero baseline makes the ratio undefined: 0 -> 0 is unchanged,
+	// 0 -> anything is flagged rather than producing an Inf/NaN ratio.
+	regressed, missing := compareBench(
+		map[string]float64{"BenchmarkStillZero": 0, "BenchmarkGrewFromZero": 0},
+		map[string]float64{"BenchmarkStillZero": 0, "BenchmarkGrewFromZero": 7},
+	)
+	if len(missing) != 0 {
+		t.Errorf("missing = %v, want none", missing)
+	}
+	if len(regressed) != 1 || regressed[0] != "BenchmarkGrewFromZero" {
+		t.Errorf("regressed = %v, want [BenchmarkGrewFromZero]", regressed)
+	}
+}
+
+func TestCompareBenchThreshold(t *testing.T) {
+	regressed, _ := compareBench(
+		map[string]float64{"BenchmarkSlower": 100, "BenchmarkSteady": 100, "BenchmarkFaster": 100},
+		map[string]float64{"BenchmarkSlower": 125, "BenchmarkSteady": 110, "BenchmarkFaster": 60},
+	)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkSlower" {
+		t.Errorf("regressed = %v, want [BenchmarkSlower]", regressed)
+	}
+}
+
+func TestRunCompareEmptyBaseline(t *testing.T) {
+	// A baseline stream with no benchmark lines is a bad recording, not a
+	// pass with zero regressions.
+	base := writeStream(t, "base.json", events(t, [2]string{"repro/a", "ok  \trepro/a\t0.1s\n"}))
+	cur := writeStream(t, "cur.json", events(t, [2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"}))
+	if status := runCompare(base, cur); status != 1 {
+		t.Errorf("runCompare(empty baseline) = %d, want 1", status)
+	}
+}
+
+func TestRunCompareMissingBenchmarkFails(t *testing.T) {
+	// A current run missing a baseline benchmark is a partial suite; it
+	// must fail even though nothing regressed.
+	base := writeStream(t, "base.json", events(t,
+		[2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"},
+		[2]string{"repro/a", "BenchmarkY-4 \t 10 \t 9.0 ns/op\n"},
+	))
+	cur := writeStream(t, "cur.json", events(t,
+		[2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"},
+	))
+	if status := runCompare(base, cur); status != 1 {
+		t.Errorf("runCompare(partial current) = %d, want 1", status)
+	}
+}
+
+func TestRunCompareCleanPass(t *testing.T) {
+	base := writeStream(t, "base.json", events(t,
+		[2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"},
+	))
+	cur := writeStream(t, "cur.json", events(t,
+		// A different GOMAXPROCS suffix must still align by name.
+		[2]string{"repro/a", "BenchmarkX-16 \t 10 \t 5.2 ns/op\n"},
+	))
+	if status := runCompare(base, cur); status != 0 {
+		t.Errorf("runCompare(clean) = %d, want 0", status)
+	}
+}
