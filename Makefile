@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet lint build test race stress load-smoke bench bench-json bench-compare
+.PHONY: all ci fmt vet lint build test race stress recovery load-smoke bench bench-json bench-compare
 
 all: ci
 
@@ -39,6 +39,13 @@ race:
 # against serialized-oracle snapshots, plus the cache semantics.
 stress:
 	$(GO) test -race -count=2 -run 'Concurrent|QueryCache' .
+
+# recovery re-runs the crash-injection suite hard: kills at every WAL
+# byte/record boundary, differential recovery against the volatile
+# oracles, and the facade restart tests — repeated, under the race
+# detector, so a flaky recovery path can't hide behind one lucky pass.
+recovery:
+	$(GO) test -race -count=5 -run 'Crash|Durable|Equivalence|Restart|Reattach|Compaction|TestGridStorage' ./internal/storage ./internal/rgma ./internal/mds .
 
 # load-smoke proves the closed-loop load generator end to end: an
 # in-process server, two users, one second — enough to catch rot without

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7] [-advance 5s]
+//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7] [-advance 5s] [-data DIR]
 //
 // Operations served (ops.list reports the full namespace):
 //
@@ -29,6 +29,13 @@
 //
 // The param-based ops answer both v1 frames (the legacy string-payload
 // protocol) and typed v2 frames, so old clients keep working.
+//
+// With -data DIR the grid's directory state is durable: the R-GMA
+// Registry and the GIIS registration table are write-ahead-logged under
+// DIR and recovered on the next start over the same directory — even
+// after a kill -9. On SIGINT or SIGTERM the server stops accepting
+// connections, then flushes a final snapshot so the next start recovers
+// without replay.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	gridmon "repro"
@@ -49,17 +57,22 @@ func main() {
 	hostList := flag.String("hosts", "lucky3,lucky4,lucky5,lucky6,lucky7", "monitored host names")
 	producers := flag.Int("producers", 3, "R-GMA producers per host")
 	advance := flag.Duration("advance", 5*time.Second, "monitoring-round interval (drives subscriptions)")
+	dataDir := flag.String("data", "", "data directory for durable directory state (empty: volatile)")
 	flag.Parse()
 	if *advance <= 0 {
 		log.Fatalf("-advance %v: the monitoring-round interval must be positive", *advance)
 	}
 	hosts := strings.Split(*hostList, ",")
 
-	grid, err := gridmon.New(
+	opts := []gridmon.Option{
 		gridmon.WithHosts(hosts...),
 		gridmon.WithRGMAProducers(*producers),
 		gridmon.WithWallClock(),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, gridmon.WithStorage(*dataDir))
+	}
+	grid, err := gridmon.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +98,12 @@ func main() {
 	fmt.Printf("ops: %s\n", strings.Join(srv.Ops(), " "))
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Stop taking requests first, then flush: the final snapshot must
+	// not race in-flight mutations.
 	srv.Close()
+	if err := grid.Close(); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
 }

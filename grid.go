@@ -3,6 +3,7 @@ package gridmon
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/liveops"
 	"repro/internal/mds"
 	"repro/internal/rgma"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -87,24 +89,71 @@ func New(opts ...Option) (*Grid, error) {
 	}
 	if cfg.systems[MDS] {
 		if err := g.buildMDS(); err != nil {
+			g.Close()
 			return nil, err
 		}
 	}
 	if cfg.systems[RGMA] {
 		if err := g.buildRGMA(); err != nil {
+			g.Close()
 			return nil, err
 		}
 	}
 	if cfg.systems[Hawkeye] {
 		if err := g.buildHawkeye(); err != nil {
+			g.Close()
 			return nil, err
 		}
 	}
 	return g, nil
 }
 
+// openStore opens the named service's durable store under the
+// configured data directory, or returns nil (volatile) when
+// WithStorage was not given.
+func (g *Grid) openStore(name string) (storage.Store, error) {
+	if g.cfg.dataDir == "" {
+		return nil, nil
+	}
+	return storage.OpenFile(filepath.Join(g.cfg.dataDir, name), storage.Options{})
+}
+
+// Close flushes and releases the grid's durable stores: each
+// storage-backed service writes a final snapshot so the next New over
+// the same data directory recovers without WAL replay. A volatile grid
+// (no WithStorage) closes as a no-op; closing twice is safe.
+func (g *Grid) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var err error
+	if g.giis != nil {
+		err = g.giis.Close()
+	}
+	if g.registry != nil {
+		if cerr := g.registry.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 func (g *Grid) buildMDS() error {
-	g.giis = mds.NewGIIS("giis", 1e12, 1e12)
+	st, err := g.openStore("giis")
+	if err != nil {
+		return err
+	}
+	// On a recovered GIIS the Registers below renew the detached
+	// registrations left by the crash — same ids — rebinding each slot
+	// to its rebuilt GRIS and re-pulling its data; registrations made at
+	// runtime (Register on the exposed GIIS) stay recovered and detached
+	// until their own sources return.
+	g.giis, err = mds.OpenGIIS("giis", 1e12, 1e12, st, 0)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
 	g.grises = make(map[string]*mds.GRIS, len(g.cfg.hosts))
 	for i, h := range g.cfg.hosts {
 		gris := mds.NewGRIS(h, 1e12, mds.DefaultProviders())
@@ -118,7 +167,20 @@ func (g *Grid) buildMDS() error {
 }
 
 func (g *Grid) buildRGMA() error {
-	g.registry = rgma.NewRegistry("registry")
+	st, err := g.openStore("registry")
+	if err != nil {
+		return err
+	}
+	// The RegisterProducers below re-announce this deployment's own ads
+	// idempotently (same producer ids replace their recovered rows);
+	// advertisements registered at runtime survive the reopen untouched.
+	g.registry, err = rgma.OpenRegistry("registry", st, 0)
+	if err != nil {
+		if st != nil {
+			st.Close()
+		}
+		return err
+	}
 	g.servlets = make(map[string]*rgma.ProducerServlet, len(g.cfg.hosts))
 	g.servletsByAddr = make(map[string]*rgma.ProducerServlet, len(g.cfg.hosts))
 	for _, h := range g.cfg.hosts {

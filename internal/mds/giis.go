@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/ldap"
+	"repro/internal/storage"
 )
 
 // Registration limits observed by the paper: the GIIS crashed past 500
@@ -60,6 +61,13 @@ type GIIS struct {
 	regs      map[string]*registration // guarded by mu
 	regOrder  []string                 // registration order; guarded by mu
 	cacheFill map[string]float64       // registration id -> cache expiry; guarded by mu
+
+	// Durable logging state (zero/nil for a volatile GIIS); see
+	// giis_durable.go.
+	store      storage.Store // WAL+snapshot engine; guarded by mu
+	storeErr   error         // first logging failure, sticky; guarded by mu
+	walRecords int           // records since the last snapshot; guarded by mu
+	snapEvery  int           // snapshot cadence; immutable after construction
 }
 
 // NewGIIS creates an empty GIIS.
@@ -90,7 +98,7 @@ func (g *GIIS) fresh(now float64) bool {
 func (g *GIIS) NumRegistered(now float64) int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.expire(now)
+	g.expireAndLog(now)
 	return len(g.regs)
 }
 
@@ -101,19 +109,31 @@ func (g *GIIS) NumRegistered(now float64) int {
 func (g *GIIS) Register(id string, src Source, now float64) (QueryStats, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.expire(now)
+	g.expireAndLog(now)
 	if _, renewing := g.regs[id]; !renewing && len(g.regs) >= MaxRegistrants {
 		return QueryStats{}, ErrGIISOverload{Msg: fmt.Sprintf("registration %q exceeds %d sources", id, MaxRegistrants)}
 	}
+	reg := g.upsertRegistration(id, now+g.RegistrationTTL)
+	reg.src = src
+	if err := g.log(encodeUpsertRec(id, reg.expiry)); err != nil {
+		return QueryStats{}, err
+	}
+	return g.fill(reg, now), nil
+}
+
+// upsertRegistration creates or renews the registration entry for id —
+// the shared mutation core of Register and WAL replay (replay leaves
+// src nil: a detached registration whose data returns when its source
+// re-registers). Callers hold mu exclusively.
+func (g *GIIS) upsertRegistration(id string, expiry float64) *registration {
 	reg, ok := g.regs[id]
 	if !ok {
 		reg = &registration{id: id, hostDNs: make(map[string]ldap.DN)}
 		g.regs[id] = reg
 		g.regOrder = append(g.regOrder, id)
 	}
-	reg.src = src
-	reg.expiry = now + g.RegistrationTTL
-	return g.fill(reg, now), nil
+	reg.expiry = expiry
+	return reg
 }
 
 // hostLevelDN returns the host-level ancestor of dn (one RDN below the
@@ -131,6 +151,15 @@ func hostLevelDN(dn ldap.DN) ldap.DN {
 // its soft state lapsed below us). Callers hold mu exclusively.
 func (g *GIIS) fill(reg *registration, now float64) QueryStats {
 	var st QueryStats
+	if reg.src == nil {
+		// A detached registration recovered from the WAL: its source has
+		// not re-registered since the restart, so there is nothing to
+		// pull yet. Stamp the cache anyway — the entry holds its
+		// directory slot (and counts against MaxRegistrants) until the
+		// source returns or its soft state lapses.
+		g.cacheFill[reg.id] = now + g.CacheTTL
+		return st
+	}
 	entries := reg.src.Snapshot(now)
 	fresh := make(map[string]ldap.DN)
 	var freshOrder []string
@@ -158,8 +187,10 @@ func (g *GIIS) fill(reg *registration, now float64) QueryStats {
 
 // expire drops registrations whose soft state lapsed, removing their
 // cached subtrees — the "dynamic cleaning of dead resources" the paper
-// describes. Callers hold mu exclusively.
-func (g *GIIS) expire(now float64) {
+// describes — and reports how many lapsed. Callers hold mu
+// exclusively.
+func (g *GIIS) expire(now float64) int {
+	dropped := 0
 	kept := g.regOrder[:0]
 	for _, id := range g.regOrder {
 		reg := g.regs[id]
@@ -169,11 +200,22 @@ func (g *GIIS) expire(now float64) {
 			}
 			delete(g.regs, id)
 			delete(g.cacheFill, id)
+			dropped++
 			continue
 		}
 		kept = append(kept, id)
 	}
 	g.regOrder = kept
+	return dropped
+}
+
+// expireAndLog drops lapsed registrations and, when the sweep removed
+// anything, records it in the WAL so a reopened GIIS does not
+// resurrect dead sources. Callers hold mu exclusively.
+func (g *GIIS) expireAndLog(now float64) {
+	if g.expire(now) > 0 {
+		g.logExpire(now)
+	}
 }
 
 // Query searches the aggregated directory at time now. Expired cache
@@ -203,7 +245,7 @@ func (g *GIIS) QueryCtx(ctx context.Context, now float64, filter ldap.Filter, at
 	g.mu.RUnlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.expire(now)
+	g.expireAndLog(now)
 	var st QueryStats
 	for _, id := range g.regOrder {
 		if err := ctx.Err(); err != nil {
@@ -247,7 +289,7 @@ func (g *GIIS) search(st QueryStats, filter ldap.Filter, attrs []string) ([]*lda
 func (g *GIIS) Hosts(now float64) []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.expire(now)
+	g.expireAndLog(now)
 	var out []string
 	seen := make(map[string]bool)
 	for _, id := range g.regOrder {

@@ -1,0 +1,201 @@
+package mds
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Durable GIIS state. A storage-backed GIIS write-ahead-logs its
+// soft-state registration table — add, renew, lapse — and periodically
+// compacts the log into a snapshot, so a restarted GIIS reopens
+// knowing exactly which sources were registered (and still enforcing
+// MaxRegistrants against them). Cached source *data* is deliberately
+// not logged: it is a cache of state the sources own, rebuilt by
+// re-pulling when each source re-registers after the restart. Until a
+// recovered registration's source returns, the entry is "detached" —
+// it holds its directory slot and expiry but contributes no entries.
+//
+// WAL record grammar (see storage.Encoder for the primitive forms):
+//
+//	upsert = 0x01 id expiry     (register or renew)
+//	expire = 0x02 now           (soft-state sweep that dropped entries)
+//
+// The snapshot is the registration table in registration order.
+const (
+	giisOpUpsert = 0x01
+	giisOpExpire = 0x02
+)
+
+// OpenGIIS builds a GIIS on a durable store, replaying the store's
+// recovered snapshot and WAL into the registration table before any
+// new mutation is accepted. A nil store yields a volatile GIIS
+// identical to NewGIIS's. snapEvery sets the snapshot cadence in WAL
+// records (<= 0 means storage.DefaultSnapshotEvery).
+func OpenGIIS(name string, cacheTTL, registrationTTL float64, st storage.Store, snapEvery int) (*GIIS, error) {
+	g := NewGIIS(name, cacheTTL, registrationTTL)
+	if st == nil {
+		return g, nil
+	}
+	if snapEvery <= 0 {
+		snapEvery = storage.DefaultSnapshotEvery
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	snap, recs := st.Recovered()
+	if snap != nil {
+		if err := g.restoreState(snap); err != nil {
+			return nil, err
+		}
+	}
+	for i, rec := range recs {
+		if err := g.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("mds: replaying giis record %d of %d: %w", i, len(recs), err)
+		}
+	}
+	g.store = st
+	g.snapEvery = snapEvery
+	// Count the replayed tail toward the cadence so a GIIS that crashed
+	// with a long WAL compacts soon after reopen.
+	g.walRecords = len(recs)
+	return g, nil
+}
+
+// Err reports the first durable-logging failure, or nil. Mutations on
+// paths that cannot return an error (expiry during a query) record the
+// failure here; once set, the GIIS stops logging (the WAL would have a
+// hole) and the error surfaces again from Close.
+func (g *GIIS) Err() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.storeErr
+}
+
+// Close writes a final snapshot and releases the store, so a clean
+// shutdown reopens from one state image with no replay. A volatile
+// GIIS closes as a no-op.
+func (g *GIIS) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.store == nil {
+		return nil
+	}
+	err := g.storeErr
+	if err == nil {
+		err = g.snapshotLocked()
+	}
+	if cerr := g.store.Close(); err == nil {
+		err = cerr
+	}
+	g.store = nil
+	return err
+}
+
+// log appends one WAL record and compacts on cadence. A nil store (the
+// volatile GIIS) makes it a no-op. Callers hold mu exclusively.
+func (g *GIIS) log(rec []byte) error {
+	if g.store == nil {
+		return nil
+	}
+	if g.storeErr != nil {
+		return g.storeErr
+	}
+	if err := g.store.Append(rec); err != nil {
+		g.storeErr = err
+		return err
+	}
+	g.walRecords++
+	if g.walRecords >= g.snapEvery {
+		return g.snapshotLocked()
+	}
+	return nil
+}
+
+// logExpire records a soft-state sweep that dropped registrations. The
+// error is sticky in storeErr rather than returned: expiry happens
+// inside queries, which must keep answering. Callers hold mu
+// exclusively.
+func (g *GIIS) logExpire(now float64) {
+	var e storage.Encoder
+	e.Byte(giisOpExpire)
+	e.Float64(now)
+	// log already recorded the failure in storeErr; see Err.
+	_ = g.log(e.Bytes())
+}
+
+// snapshotLocked compacts the WAL into a snapshot of the registration
+// table. Callers hold mu exclusively, with a live store.
+func (g *GIIS) snapshotLocked() error {
+	if err := g.store.SaveSnapshot(g.encodeState()); err != nil {
+		g.storeErr = err
+		return err
+	}
+	g.walRecords = 0
+	return nil
+}
+
+// encodeState serializes the registration table in registration order.
+// Callers hold mu.
+func (g *GIIS) encodeState() []byte {
+	var e storage.Encoder
+	e.Uvarint(uint64(len(g.regOrder)))
+	for _, id := range g.regOrder {
+		e.String(id)
+		e.Float64(g.regs[id].expiry)
+	}
+	return e.Bytes()
+}
+
+// restoreState loads a snapshot image into the (empty) registration
+// table as detached registrations. Callers hold mu exclusively.
+func (g *GIIS) restoreState(snap []byte) error {
+	d := storage.NewDecoder(snap)
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		id := d.String()
+		expiry := d.Float64()
+		if d.Err() != nil {
+			break
+		}
+		g.upsertRegistration(id, expiry)
+	}
+	if !d.Done() {
+		return fmt.Errorf("mds: corrupt giis snapshot: %v", d.Err())
+	}
+	return nil
+}
+
+// applyRecord replays one WAL record through the same mutation helpers
+// the live paths use, so a recovered GIIS holds exactly the
+// registration table that logged it.
+func (g *GIIS) applyRecord(rec []byte) error {
+	d := storage.NewDecoder(rec)
+	switch op := d.Byte(); op {
+	case giisOpUpsert:
+		id := d.String()
+		expiry := d.Float64()
+		if !d.Done() {
+			return fmt.Errorf("mds: corrupt upsert record: %v", d.Err())
+		}
+		g.upsertRegistration(id, expiry)
+		return nil
+	case giisOpExpire:
+		now := d.Float64()
+		if !d.Done() {
+			return fmt.Errorf("mds: corrupt expire record: %v", d.Err())
+		}
+		g.expire(now)
+		return nil
+	default:
+		return fmt.Errorf("mds: unknown giis record op 0x%02x", op)
+	}
+}
+
+// encodeUpsertRec serializes a register/renew mutation.
+func encodeUpsertRec(id string, expiry float64) []byte {
+	var e storage.Encoder
+	e.Byte(giisOpUpsert)
+	e.String(id)
+	e.Float64(expiry)
+	return e.Bytes()
+}

@@ -1,0 +1,325 @@
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+var errKilled = errors.New("injected crash")
+
+// killWriter passes through the first limit bytes and then fails every
+// write, tearing whatever WAL frame is in flight.
+type killWriter struct {
+	w       io.Writer
+	limit   int
+	written int
+}
+
+func (c *killWriter) Write(p []byte) (int, error) {
+	if c.written >= c.limit {
+		return 0, errKilled
+	}
+	n := c.limit - c.written
+	if n > len(p) {
+		n = len(p)
+	}
+	nw, err := c.w.Write(p[:n])
+	c.written += nw
+	if err != nil {
+		return nw, err
+	}
+	if nw < len(p) {
+		return nw, errKilled
+	}
+	return nw, nil
+}
+
+// dumpRegistrations renders the GIIS registration table — id, expiry,
+// order — the durable state the WAL covers.
+func dumpRegistrations(g *GIIS) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var b strings.Builder
+	for _, id := range g.regOrder {
+		fmt.Fprintf(&b, "%s expiry=%g\n", id, g.regs[id].expiry)
+	}
+	return b.String()
+}
+
+// TestGIISDurableDifferential crashes a filestore-backed GIIS at every
+// WAL record boundary (and mid-frame) of a register/renew sequence and
+// compares the recovered registration table against a volatile oracle
+// that applied exactly the surviving ops.
+func TestGIISDurableDifferential(t *testing.T) {
+	grises := make([]*GRIS, 6)
+	for i := range grises {
+		grises[i] = NewGRIS(fmt.Sprintf("host%d", i), 1e12, DefaultProviders())
+		grises[i].Warm(0)
+	}
+	type op struct {
+		id  string
+		src Source
+		now float64
+	}
+	var ops []op
+	for i := 0; i < 18; i++ {
+		ops = append(ops, op{id: fmt.Sprintf("gris-%d", i%6), src: grises[i%6], now: float64(i)})
+	}
+
+	// Pass 1: learn each record's end offset in the WAL byte stream.
+	var ends []int
+	total := 0
+	{
+		st, err := storage.OpenFile(t.TempDir(), storage.Options{WrapWAL: func(w io.Writer) io.Writer {
+			return writerFunc(func(p []byte) (int, error) {
+				total += len(p)
+				ends = append(ends, total)
+				return w.Write(p)
+			})
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := OpenGIIS("giis", 1e12, 1e12, st, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range ops {
+			if _, err := g.Register(o.id, o.src, o.now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(ends) != len(ops) {
+			t.Fatalf("%d ops appended %d records, want 1:1", len(ops), len(ends))
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cuts := []int{0}
+	for k, end := range ends {
+		cuts = append(cuts, end)
+		start := 0
+		if k > 0 {
+			start = ends[k-1]
+		}
+		cuts = append(cuts, start+(end-start)/2)
+	}
+	for _, cut := range cuts {
+		survivors := 0
+		for _, end := range ends {
+			if end <= cut {
+				survivors++
+			}
+		}
+		dir := t.TempDir()
+		st, err := storage.OpenFile(dir, storage.Options{WrapWAL: func(w io.Writer) io.Writer {
+			return &killWriter{w: w, limit: cut}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := OpenGIIS("giis", 1e12, 1e12, st, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range ops {
+			if _, err := g.Register(o.id, o.src, o.now); err != nil {
+				if !errors.Is(err, errKilled) {
+					t.Fatalf("cut %d: unexpected register error: %v", cut, err)
+				}
+				break // killed mid-write
+			}
+		}
+		st.Close()
+
+		reopened, err := storage.OpenFile(dir, storage.Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		g2, err := OpenGIIS("giis", 1e12, 1e12, reopened, 0)
+		if err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		oracle := NewGIIS("oracle", 1e12, 1e12)
+		for _, o := range ops[:survivors] {
+			if _, err := oracle.Register(o.id, o.src, o.now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := dumpRegistrations(g2), dumpRegistrations(oracle); got != want {
+			t.Fatalf("cut %d (%d surviving records): recovered registrations diverge from oracle\ngot:\n%swant:\n%s",
+				cut, survivors, got, want)
+		}
+		if err := g2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestGIISDetachedReattach pins the re-pull contract: cached source
+// data is not logged, so a recovered registration serves nothing until
+// its source re-registers — and then serves exactly what a never-
+// crashed GIIS would.
+func TestGIISDetachedReattach(t *testing.T) {
+	gris := NewGRIS("lucky3", 1e12, DefaultProviders())
+	gris.Warm(0)
+	dir := t.TempDir()
+	st, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenGIIS("giis", 1e12, 1e12, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Register("gris-0", gris, 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := g.Query(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("no entries served before the crash")
+	}
+	st.Close() // crash
+
+	reopened, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := OpenGIIS("giis", 1e12, 1e12, reopened, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if n := g2.NumRegistered(0); n != 1 {
+		t.Fatalf("NumRegistered after recovery = %d, want 1 (detached)", n)
+	}
+	detached, _, err := g2.Query(0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detached) != 0 {
+		t.Fatalf("detached registration served %d entries, want 0 until the source re-registers", len(detached))
+	}
+	// The source comes back (as it would within one soft-state period):
+	// the directory re-pulls and serves the same data as before.
+	if _, err := g2.Register("gris-0", gris, 1); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := g2.Query(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("reattached query returned %d entries, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if !after[i].DN.Equal(before[i].DN) {
+			t.Fatalf("entry %d: DN %v != pre-crash %v", i, after[i].DN, before[i].DN)
+		}
+	}
+}
+
+// TestGIISMaxRegistrantsAcrossRestart is the overload satellite: a
+// GIIS that crashed at the registration cap must reopen with exactly
+// its pre-crash registrations and keep enforcing the cap against them
+// — a restart must not quietly double the paper's 500-source crash
+// threshold.
+func TestGIISMaxRegistrantsAcrossRestart(t *testing.T) {
+	gris := NewGRIS("host", 1e12, DefaultProviders())
+	dir := t.TempDir()
+	st, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenGIIS("giis", 1e12, 1e12, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < MaxRegistrants; i++ {
+		if _, err := g.Register(fmt.Sprintf("g%d", i), gris, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Register("over", gris, 0); err == nil {
+		t.Fatal("registration past the cap succeeded before the crash")
+	}
+	st.Close() // crash at the cap
+
+	reopened, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := OpenGIIS("giis", 1e12, 1e12, reopened, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if n := g2.NumRegistered(0); n != MaxRegistrants {
+		t.Fatalf("NumRegistered after recovery = %d, want %d", n, MaxRegistrants)
+	}
+	var overload ErrGIISOverload
+	if _, err := g2.Register("over", gris, 0); !errors.As(err, &overload) {
+		t.Fatalf("new registration after recovery = %v, want overload (cap must survive restart)", err)
+	}
+	// Renewing a recovered registration is not a new source: it must
+	// succeed at the cap, rebinding the returned source.
+	if _, err := g2.Register("g0", gris, 0); err != nil {
+		t.Fatalf("renewing a recovered registration at the cap: %v", err)
+	}
+}
+
+// TestGIISExpiryDurable pins that a logged soft-state sweep holds
+// across restart: lapsed sources stay gone even when the reopened
+// GIIS is asked at an earlier clock.
+func TestGIISExpiryDurable(t *testing.T) {
+	gris := NewGRIS("host", 1e12, DefaultProviders())
+	dir := t.TempDir()
+	st, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenGIIS("giis", 1e12, 100, st, 0) // short registration TTL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Register("lapses", gris, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Register("renewed", gris, 450); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.NumRegistered(500); n != 1 { // sweeps "lapses", logs it
+		t.Fatalf("NumRegistered(500) = %d, want 1", n)
+	}
+	st.Close() // crash
+
+	reopened, err := storage.OpenFile(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := OpenGIIS("giis", 1e12, 100, reopened, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if n := g2.NumRegistered(0); n != 1 {
+		t.Fatalf("recovered NumRegistered(0) = %d, want the lapsed source to stay dropped", n)
+	}
+	if got := dumpRegistrations(g2); !strings.HasPrefix(got, "renewed ") {
+		t.Fatalf("recovered registrations = %q, want only the renewed source", got)
+	}
+}

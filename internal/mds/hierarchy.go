@@ -25,7 +25,7 @@ func (g *GIIS) Snapshot(now float64) []*ldap.Entry {
 	g.mu.RUnlock()
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.expire(now)
+	g.expireAndLog(now)
 	for _, id := range g.regOrder {
 		if now >= g.cacheFill[id] {
 			g.fill(g.regs[id], now)

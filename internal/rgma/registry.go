@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gma"
 	"repro/internal/relational"
+	"repro/internal/storage"
 )
 
 // QueryStats counts the work an R-GMA component performed for one request.
@@ -54,11 +55,22 @@ func (s *QueryStats) Add(o QueryStats) {
 // advertisements upgrades to the exclusive lock (double-checked, since a
 // concurrent lookup may have expired them first). Registration and
 // unregistration always take the exclusive lock.
+//
+// A registry opened on a durable store (OpenRegistry) additionally
+// write-ahead-logs every mutation and reopens with its directory
+// intact; see registry_durable.go for the record grammar and recovery
+// semantics.
 type Registry struct {
 	Name string
 
 	mu sync.RWMutex
 	db *relational.DB // producers table; guarded by mu
+
+	// Durable logging state (zero/nil for a volatile registry).
+	store      storage.Store // WAL+snapshot engine; guarded by mu
+	storeErr   error         // first logging failure, sticky; guarded by mu
+	walRecords int           // records since the last snapshot; guarded by mu
+	snapEvery  int           // snapshot cadence; immutable after construction
 }
 
 var _ gma.Registry = (*Registry)(nil)
@@ -90,28 +102,25 @@ func (r *Registry) RegisterProducer(ad gma.Advertisement, now, ttl float64) erro
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	t, _ := r.db.Table("producers")
 	// Replace any previous registration for this producer.
-	t.DeleteWhere(func(row []relational.Value) bool {
-		return row[0].S == ad.ProducerID
-	})
-	return t.Insert([]relational.Value{
-		relational.StrVal(ad.ProducerID),
-		relational.StrVal(ad.Address),
-		relational.StrVal(ad.TableName),
-		relational.StrVal(ad.Predicate),
-		relational.RealVal(now + ttl),
-	})
+	if err := r.putProducer(ad, now+ttl); err != nil {
+		return err
+	}
+	return r.log(encodeRegisterRec(ad, now+ttl))
 }
 
-// UnregisterProducer removes a producer's advertisement.
+// UnregisterProducer removes a producer's advertisement. A durable
+// logging failure is sticky in Err (the bool return is the gma.Registry
+// contract).
 func (r *Registry) UnregisterProducer(producerID string, now float64) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	t, _ := r.db.Table("producers")
-	return t.DeleteWhere(func(row []relational.Value) bool {
-		return row[0].S == producerID
-	}) > 0
+	if !r.deleteProducer(producerID) {
+		return false
+	}
+	// log records any failure in storeErr; see Err.
+	_ = r.log(encodeUnregisterRec(producerID))
+	return true
 }
 
 // anyExpired reports whether any advertisement's soft state has lapsed
@@ -126,13 +135,22 @@ func (r *Registry) anyExpired(now float64) bool {
 	return false
 }
 
-// expire drops advertisements whose soft state lapsed. Callers hold mu
-// exclusively.
-func (r *Registry) expire(now float64) {
+// expire drops advertisements whose soft state lapsed, reporting how
+// many. Callers hold mu exclusively.
+func (r *Registry) expire(now float64) int {
 	t, _ := r.db.Table("producers")
-	t.DeleteWhere(func(row []relational.Value) bool {
+	return t.DeleteWhere(func(row []relational.Value) bool {
 		return row[4].R <= now
 	})
+}
+
+// expireAndLog drops lapsed advertisements and, when the sweep removed
+// anything, records it in the WAL so a reopened registry does not
+// resurrect dead producers. Callers hold mu exclusively.
+func (r *Registry) expireAndLog(now float64) {
+	if r.expire(now) > 0 {
+		r.logExpire(now)
+	}
 }
 
 // LookupProducers returns the live advertisements for a table via the
@@ -154,7 +172,7 @@ func (r *Registry) LookupProducersStats(table string, now float64) ([]gma.Advert
 	r.mu.RUnlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expire(now)
+	r.expireAndLog(now)
 	return r.lookup(table)
 }
 
@@ -187,7 +205,7 @@ func (r *Registry) lookup(table string) ([]gma.Advertisement, QueryStats, error)
 func (r *Registry) Tables(now float64) []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expire(now)
+	r.expireAndLog(now)
 	res, err := r.db.Exec("SELECT table_name FROM producers ORDER BY table_name")
 	if err != nil {
 		return nil
@@ -206,7 +224,7 @@ func (r *Registry) Tables(now float64) []string {
 func (r *Registry) NumRegistered(now float64) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.expire(now)
+	r.expireAndLog(now)
 	t, _ := r.db.Table("producers")
 	return t.Len()
 }

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Append throughput across record sizes and fsync cadences: SyncEvery=1
+// is the every-record-durable worst case, SyncEvery=32 the batched
+// default. gridmon-bench -compare gates these against the recorded
+// baseline like every other benchmark.
+func BenchmarkFileStoreAppend(b *testing.B) {
+	for _, size := range []int{64, 1024} {
+		for _, sync := range []int{1, 32} {
+			b.Run(fmt.Sprintf("size=%d/sync=%d", size, sync), func(b *testing.B) {
+				st, err := OpenFile(b.TempDir(), Options{SyncEvery: sync})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				rec := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := st.Append(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Replay cost of opening a store whose WAL holds n records — the
+// restart-latency half of the durability tradeoff (snapshots exist to
+// bound this).
+func BenchmarkFileStoreReplay(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := OpenFile(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := make([]byte, 128)
+			for i := 0; i < n; i++ {
+				if err := st.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := OpenFile(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, recs := re.Recovered(); len(recs) != n {
+					b.Fatalf("recovered %d records, want %d", len(recs), n)
+				}
+				re.Close()
+			}
+		})
+	}
+}
+
+// Snapshot rotation cost at a given state size: write, fsync, rename,
+// fresh WAL, old-generation removal.
+func BenchmarkFileStoreSnapshot(b *testing.B) {
+	st, err := OpenFile(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	state := make([]byte, 64<<10)
+	b.SetBytes(int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.SaveSnapshot(state); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// errInjected is the fault the cut writer raises in place of a real
+// kill -9: the bytes before the cut made it to the file, nothing after.
+var errInjected = errors.New("injected crash")
+
+// cutWriter passes through the first limit bytes and then fails every
+// write, tearing whatever frame is in flight at an arbitrary byte.
+type cutWriter struct {
+	w       io.Writer
+	limit   int
+	written int
+}
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.written >= c.limit {
+		return 0, errInjected
+	}
+	n := c.limit - c.written
+	if n > len(p) {
+		n = len(p)
+	}
+	nw, err := c.w.Write(p[:n])
+	c.written += nw
+	if err != nil {
+		return nw, err
+	}
+	if nw < len(p) {
+		return nw, errInjected
+	}
+	return nw, nil
+}
+
+// TestCrashAtEveryByte kills the WAL writer at every byte offset of the
+// record stream — a superset of "every record boundary" — and asserts
+// the recovery invariant: a reopened store holds exactly the records
+// whose frames were completely written, the torn tail is truncated
+// away, and the store accepts appends again.
+func TestCrashAtEveryByte(t *testing.T) {
+	recs := testRecords(12)
+	// Cumulative frame-end offsets within the append stream (the magic
+	// header is written at open, outside the injected writer).
+	ends := make([]int, len(recs))
+	total := 0
+	for i, r := range recs {
+		total += frameHeaderLen + len(r)
+		ends[i] = total
+	}
+
+	for cut := 0; cut <= total; cut++ {
+		dir := t.TempDir()
+		st, err := OpenFile(dir, Options{WrapWAL: func(w io.Writer) io.Writer {
+			return &cutWriter{w: w, limit: cut}
+		}})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		var crashed bool
+		for _, r := range recs {
+			if err := st.Append(r); err != nil {
+				if !errors.Is(err, errInjected) {
+					t.Fatalf("cut %d: unexpected append error: %v", cut, err)
+				}
+				crashed = true
+				break
+			}
+		}
+		if !crashed && cut < total {
+			t.Fatalf("cut %d: expected a torn write before %d bytes", cut, total)
+		}
+		st.Close() // releases the fd; the torn tail stays on disk as a crash leaves it
+
+		// Survivors: every record whose frame ended at or before the cut.
+		var want [][]byte
+		for i, end := range ends {
+			if end <= cut {
+				want = append(want, recs[i])
+			}
+		}
+
+		re, err := OpenFile(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		_, got := re.Recovered()
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("cut %d: record %d = %v, want %v", cut, i, got[i], want[i])
+			}
+		}
+		// The log must be appendable after recovery, and the new record
+		// must land cleanly after the truncated tail.
+		if err := re.Append([]byte("after-recovery")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		fin, err := OpenFile(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: final reopen: %v", cut, err)
+		}
+		_, got = fin.Recovered()
+		if len(got) != len(want)+1 || string(got[len(got)-1]) != "after-recovery" {
+			t.Fatalf("cut %d: post-recovery log has %d records, want %d ending in after-recovery",
+				cut, len(got), len(want)+1)
+		}
+		fin.Close()
+	}
+}
+
+// TestCrashedStoreRefusesFurtherWrites pins the sticky-failure
+// contract: once an append tears, the store reports errors for every
+// subsequent write instead of logging past a hole.
+func TestCrashedStoreRefusesFurtherWrites(t *testing.T) {
+	st, err := OpenFile(t.TempDir(), Options{WrapWAL: func(w io.Writer) io.Writer {
+		return &cutWriter{w: w, limit: 3}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append([]byte("doomed")); !errors.Is(err, errInjected) {
+		t.Fatalf("first append error = %v, want injected crash", err)
+	}
+	if err := st.Append([]byte("next")); err == nil {
+		t.Error("append after a torn write succeeded")
+	}
+	if err := st.Sync(); err == nil {
+		t.Error("sync after a torn write succeeded")
+	}
+	if err := st.SaveSnapshot([]byte("state")); err == nil {
+		t.Error("snapshot after a torn write succeeded")
+	}
+}
+
+// TestCrashDifferentialVsMemStore is the storage-level differential
+// gate: the same record sequence goes to a MemStore (the oracle — no
+// disk, nothing to tear) and to a FileStore crashed at every record
+// boundary; the reopened FileStore must hold exactly the oracle's
+// prefix that was durably framed.
+func TestCrashDifferentialVsMemStore(t *testing.T) {
+	recs := testRecords(10)
+	oracle := NewMem()
+	for _, r := range recs {
+		if err := oracle.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracleRecs := oracle.Records()
+
+	end := 0
+	boundaries := []int{0}
+	for _, r := range recs {
+		end += frameHeaderLen + len(r)
+		boundaries = append(boundaries, end)
+	}
+	for k, cut := range boundaries {
+		dir := t.TempDir()
+		st, err := OpenFile(dir, Options{WrapWAL: func(w io.Writer) io.Writer {
+			return &cutWriter{w: w, limit: cut}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := st.Append(r); err != nil {
+				break
+			}
+		}
+		st.Close()
+		re, err := OpenFile(dir, Options{})
+		if err != nil {
+			t.Fatalf("boundary %d: reopen: %v", k, err)
+		}
+		_, got := re.Recovered()
+		re.Close()
+		if len(got) != k {
+			t.Fatalf("boundary %d: recovered %d records, want the oracle prefix of %d", k, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(got[i], oracleRecs[i]) {
+				t.Fatalf("boundary %d: record %d diverges from oracle", k, i)
+			}
+		}
+	}
+}

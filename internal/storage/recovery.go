@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// recoverDir decides which generation a data directory is at and loads
+// its durable state. The rules:
+//
+//   - The live generation is the highest one with a snapshot file
+//     (generation 0 needs none: its "snapshot" is the empty state).
+//     SaveSnapshot establishes generation g+1 completely — snapshot
+//     renamed and fsynced, fresh WAL created — before deleting
+//     generation g, so the highest snapshot on disk is always a
+//     complete one barring media corruption, which is reported as an
+//     error rather than papered over with silent data loss.
+//   - The live WAL may be missing (crash between snapshot rename and
+//     WAL create): it is created empty.
+//   - Everything else — stale older generations, interrupted *.tmp
+//     writes — is deleted.
+func recoverDir(dir string, maxRecord int) (gen uint64, snapshot []byte, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	var stale []string
+	haveSnap := false
+	for _, e := range entries {
+		name := e.Name()
+		sg, wg := parseGen(name, "snap-"), parseGen(name, "wal-")
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			stale = append(stale, name)
+		case sg != nil:
+			haveSnap = true
+			if *sg > gen {
+				gen = *sg
+			}
+		case wg != nil:
+			// WAL generations participate in cleanup only; the live
+			// generation is chosen by snapshot presence.
+		default:
+			return 0, nil, fmt.Errorf("storage: %s: unexpected file %q in data directory", dir, name)
+		}
+	}
+	if haveSnap {
+		snapshot, err = readSnapshot(filepath.Join(dir, snapName(gen)), maxRecord)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	// Drop stale generations and interrupted writes.
+	for _, e := range entries {
+		name := e.Name()
+		if g := parseGen(name, "snap-"); g != nil && *g != gen {
+			stale = append(stale, name)
+		}
+		if g := parseGen(name, "wal-"); g != nil && *g != gen {
+			stale = append(stale, name)
+		}
+	}
+	for _, name := range stale {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return 0, nil, err
+		}
+	}
+	return gen, snapshot, nil
+}
+
+// parseGen extracts the generation number from a "<prefix><16 hex>"
+// file name, or nil when name is not of that form.
+func parseGen(name, prefix string) *uint64 {
+	if !strings.HasPrefix(name, prefix) {
+		return nil
+	}
+	hex := name[len(prefix):]
+	if len(hex) != 16 {
+		return nil
+	}
+	g, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return nil
+	}
+	return &g
+}

@@ -20,6 +20,7 @@ type config struct {
 	advertiseInterval float64
 	streamBuffer      int
 	queryCacheTTL     time.Duration
+	dataDir           string
 }
 
 // DefaultStreamBuffer is the per-subscription event buffer bound used
@@ -161,6 +162,26 @@ func WithQueryCache(ttl time.Duration) Option {
 			return fmt.Errorf("gridmon: WithQueryCache(%v): need a positive TTL", ttl)
 		}
 		c.queryCacheTTL = ttl
+		return nil
+	}
+}
+
+// WithStorage makes the grid's directory state durable: the R-GMA
+// Registry's advertisements and the GIIS registration table are
+// write-ahead-logged to per-service subdirectories of dir (created if
+// needed) and recovered on the next New over the same directory. A
+// crashed grid reopens with its producers and sources already
+// registered instead of waiting a full soft-state period for them to
+// re-announce; see the README's Durability section for exactly what is
+// and is not logged. Close the grid (Grid.Close) for a clean shutdown
+// — recovery after a crash works too, that is the point, but a final
+// snapshot makes the next open replay-free.
+func WithStorage(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("gridmon: WithStorage needs a directory")
+		}
+		c.dataDir = dir
 		return nil
 	}
 }
