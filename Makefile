@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet lint build test race stress recovery load-smoke bench bench-json bench-compare
+.PHONY: all ci fmt vet lint build test race stress recovery chaos load-smoke bench bench-json bench-compare
 
 all: ci
 
@@ -46,6 +46,14 @@ stress:
 # detector, so a flaky recovery path can't hide behind one lucky pass.
 recovery:
 	$(GO) test -race -count=5 -run 'Crash|Durable|Equivalence|Restart|Reattach|Compaction|TestGridStorage' ./internal/storage ./internal/rgma ./internal/mds .
+
+# chaos re-runs the resilience gates hard under the race detector: the
+# fault-injection suite (latency, stalls, partial writes, mid-frame
+# resets — typed error or correct retried result, never a hang), the
+# breaker/backoff/admission unit contracts, the load-shedding bounds,
+# server-close-under-load, and the client-side server-restart drill.
+chaos:
+	$(GO) test -race -count=3 -run 'Chaos|Breaker|Backoff|Admission|Overload|Shed|ServerClose|SurvivesServerRestart' . ./internal/transport
 
 # load-smoke proves the closed-loop load generator end to end: an
 # in-process server, two users, one second — enough to catch rot without

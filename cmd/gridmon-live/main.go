@@ -7,6 +7,7 @@
 // Usage:
 //
 //	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7] [-advance 5s] [-data DIR]
+//	             [-admit-max N] [-admit-queue N] [-admit-timeout D]
 //
 // Operations served (ops.list reports the full namespace):
 //
@@ -15,6 +16,7 @@
 //	grid.hosts      typed v2: list monitored hosts
 //	grid.systems    typed v2: list deployed systems
 //	ops.list        typed v2: list every registered op
+//	ops.stats       typed v2: serving counters (gridmon.Stats)
 //	mds.query       params: filter (RFC 1960), attrs (comma-separated)
 //	mds.hosts       list registered hosts
 //	rgma.query      params: sql (SELECT over table "siteinfo")
@@ -36,6 +38,12 @@
 // after a kill -9. On SIGINT or SIGTERM the server stops accepting
 // connections, then flushes a final snapshot so the next start recovers
 // without replay.
+//
+// With -admit-max N the grid sheds load instead of collapsing under it:
+// at most N queries execute concurrently, up to -admit-queue more wait
+// (each at most -admit-timeout), and everything beyond fast-fails with
+// the structured "overloaded" code. ops.stats (or gridmon-query -o json
+// ops.stats) reports what the gate did.
 package main
 
 import (
@@ -58,6 +66,9 @@ func main() {
 	producers := flag.Int("producers", 3, "R-GMA producers per host")
 	advance := flag.Duration("advance", 5*time.Second, "monitoring-round interval (drives subscriptions)")
 	dataDir := flag.String("data", "", "data directory for durable directory state (empty: volatile)")
+	admitMax := flag.Int("admit-max", 0, "admission control: max concurrent queries (0 = unlimited)")
+	admitQueue := flag.Int("admit-queue", 16, "admission control: max queued queries past -admit-max")
+	admitTimeout := flag.Duration("admit-timeout", 100*time.Millisecond, "admission control: max wait in the queue")
 	flag.Parse()
 	if *advance <= 0 {
 		log.Fatalf("-advance %v: the monitoring-round interval must be positive", *advance)
@@ -71,6 +82,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		opts = append(opts, gridmon.WithStorage(*dataDir))
+	}
+	if *admitMax > 0 {
+		opts = append(opts, gridmon.WithAdmission(*admitMax, *admitQueue, *admitTimeout))
 	}
 	grid, err := gridmon.New(opts...)
 	if err != nil {

@@ -8,8 +8,10 @@
 //
 //	gridmon-load [-addr host:port] [-users 1,2,4,8] [-duration 3s] [-think 0]
 //	             [-system MDS|R-GMA|Hawkeye] [-role info|dir|agg] [-host h]
-//	             [-expr e] [-attrs a,b] [-o table|json]
+//	             [-expr e] [-attrs a,b] [-o table|json] [-max-error-rate 0]
 //	             [-hosts lucky3,...] [-producers 3] [-advance 1s] [-cache 0]
+//	             [-data DIR] [-admit-max 0] [-admit-queue 16] [-admit-timeout 100ms]
+//	             [-scenario restart|overload]
 //	             [-cpuprofile f] [-memprofile f]
 //
 // With no -addr the tool serves itself: it builds an in-process grid
@@ -30,11 +32,34 @@
 // counters in each response, so it reflects the serving grid's cache,
 // not client-side state. Against a grid without WithQueryCache the
 // column reads "-".
+//
+// Transport errors no longer vanish into an exit status of 0: each
+// level reports its error and shed counts (sheds — the server's
+// admission gate refusing with the overloaded code — are controlled
+// refusals and tallied separately from failures), and the process exits
+// non-zero when any level's error rate exceeds -max-error-rate (default
+// 0: any transport error fails the run).
+//
+// Two fault scenarios replace the level sweep when -scenario is set,
+// both emitting JSON:
+//
+//	-scenario restart   self-serve only, requires -data: kill the server
+//	                    (listener, connections, and grid — no goodbye
+//	                    snapshot) a third into the run, restart it over
+//	                    the same data directory, and report the
+//	                    client-observed recovery gap. Clients retry with
+//	                    backoff, as DialWith clients do.
+//	-scenario overload  calibrate single-user capacity, then offer at
+//	                    least twice the saturating load and report
+//	                    accepted latency, shed rate and throughput. Pair
+//	                    with -admit-max to watch the gate hold the tail,
+//	                    or without it to watch latency collapse.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -71,6 +96,13 @@ func run() int {
 	producers := flag.Int("producers", 3, "self-serve: R-GMA producers per host")
 	advance := flag.Duration("advance", time.Second, "self-serve: Advance pump interval (0 disables the pump)")
 	cacheTTL := flag.Duration("cache", 0, "self-serve: WithQueryCache TTL (0 disables the cache)")
+	dataDir := flag.String("data", "", "self-serve: durable data directory (required by -scenario restart)")
+	admitMax := flag.Int("admit-max", 0, "self-serve: admission control max concurrent queries (0 = unlimited)")
+	admitQueue := flag.Int("admit-queue", 16, "self-serve: admission control queue bound")
+	admitTimeout := flag.Duration("admit-timeout", 100*time.Millisecond, "self-serve: admission control queue timeout")
+	scenario := flag.String("scenario", "", "run a fault scenario instead of the level sweep: restart or overload")
+	maxErrRate := flag.Float64("max-error-rate", 0,
+		"exit non-zero when a level's transport-error rate exceeds this fraction (sheds excluded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the client loop to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -85,17 +117,40 @@ func run() int {
 		return 1
 	}
 
+	switch *scenario {
+	case "", "restart", "overload":
+	default:
+		log.Printf("bad -scenario %q (want restart or overload)", *scenario)
+		return 1
+	}
+	if *scenario == "restart" && (*addr != "" || *dataDir == "") {
+		log.Print("-scenario restart needs a self-served durable grid: leave -addr empty and set -data")
+		return 1
+	}
+
 	target := *addr
+	var self *selfServer
 	if target == "" {
-		stop, bound, err := selfServe(*hostsList, *producers, *advance, *cacheTTL)
+		cfg := selfConfig{
+			hosts:        strings.Split(*hostsList, ","),
+			producers:    *producers,
+			advance:      *advance,
+			cacheTTL:     *cacheTTL,
+			dataDir:      *dataDir,
+			admitMax:     *admitMax,
+			admitQueue:   *admitQueue,
+			admitTimeout: *admitTimeout,
+		}
+		var err error
+		self, err = startSelfServer(cfg, "127.0.0.1:0")
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
-		defer stop()
-		target = bound
-		fmt.Fprintf(os.Stderr, "serving in-process grid on %s (advance %v, cache %v)\n",
-			bound, *advance, *cacheTTL)
+		defer self.stop()
+		target = self.addr
+		fmt.Fprintf(os.Stderr, "serving in-process grid on %s (advance %v, cache %v, data %q, admit-max %d)\n",
+			target, *advance, *cacheTTL, *dataDir, *admitMax)
 	}
 
 	q := gridmon.Query{
@@ -140,9 +195,16 @@ func run() int {
 		}
 	}()
 
+	switch *scenario {
+	case "restart":
+		return runRestartScenario(self, q, hosts, levels[0], *duration, *think)
+	case "overload":
+		return runOverloadScenario(target, q, hosts, *duration, *think, *admitMax, *admitQueue)
+	}
+
 	var results []levelResult
 	for _, users := range levels {
-		res, err := runLevel(target, q, hosts, users, *duration, *think)
+		res, err := runLevel(target, q, hosts, users, *duration, *think, gridmon.DialOptions{})
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -160,19 +222,46 @@ func run() int {
 	} else {
 		printTable(results)
 	}
-	return 0
+	return exitForErrors(results, *maxErrRate)
+}
+
+// exitForErrors is the error-threshold gate: a run whose transport
+// errors exceed the tolerated rate must not exit 0 (sheds are the
+// server's controlled refusals and don't count against it).
+func exitForErrors(results []levelResult, maxRate float64) int {
+	status := 0
+	for _, r := range results {
+		attempts := r.Queries + r.Errors
+		if attempts == 0 {
+			fmt.Fprintf(os.Stderr, "level %d users: no queries completed\n", r.Users)
+			status = 1
+			continue
+		}
+		rate := float64(r.Errors) / float64(attempts)
+		if rate > maxRate {
+			fmt.Fprintf(os.Stderr, "level %d users: error rate %.2f%% (%d/%d) exceeds -max-error-rate %.2f%%\n",
+				r.Users, 100*rate, r.Errors, attempts, 100*maxRate)
+			status = 1
+		}
+	}
+	return status
 }
 
 // levelResult is one concurrency level's measurement — one point of the
 // paper's throughput and response-time curves.
 type levelResult struct {
-	Users      int     `json:"users"`
-	Queries    int     `json:"queries"`
+	Users   int `json:"users"`
+	Queries int `json:"queries"`
+	// Errors counts transport/server failures; Shed counts admission
+	// refusals (the overloaded code) — the server protecting itself, not
+	// failing. ShedP99MS is how long a refusal took to arrive.
 	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed"`
 	Throughput float64 `json:"throughput_qps"`
 	MeanMS     float64 `json:"mean_ms"`
 	P50MS      float64 `json:"p50_ms"`
 	P99MS      float64 `json:"p99_ms"`
+	ShedP99MS  float64 `json:"shed_p99_ms,omitempty"`
 	// CacheHitRate is hits/(hits+misses) summed over every response's
 	// Work counters; nil when the serving grid has no query cache.
 	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
@@ -181,6 +270,7 @@ type levelResult struct {
 // userStats is one user's tally, merged after the level completes.
 type userStats struct {
 	latencies []time.Duration
+	shedLats  []time.Duration
 	errors    int
 	hits      int
 	misses    int
@@ -190,12 +280,21 @@ type userStats struct {
 // each on its own connection, querying back-to-back (plus think time)
 // for the duration.
 func runLevel(addr string, q gridmon.Query, hosts []string, users int,
-	duration, think time.Duration) (levelResult, error) {
+	duration, think time.Duration, dial gridmon.DialOptions) (levelResult, error) {
+	return runLevelObserved(addr, q, hosts, users, duration, think, dial, func(_, _ time.Time) {})
+}
+
+// runLevelObserved is runLevel with a completion hook: observe is called
+// with each successful query's start and completion times (the restart
+// scenario uses it to spot the first success begun after the kill).
+func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
+	duration, think time.Duration, dial gridmon.DialOptions,
+	observe func(start, done time.Time)) (levelResult, error) {
 	// Dial every user before the window opens so slow connects don't
 	// eat into the measurement.
 	conns := make([]*gridmon.RemoteGrid, users)
 	for i := range conns {
-		rg, err := gridmon.Dial(addr)
+		rg, err := gridmon.DialWith(addr, dial)
 		if err != nil {
 			return levelResult{}, fmt.Errorf("user %d: %v", i, err)
 		}
@@ -221,10 +320,19 @@ func runLevel(addr string, q gridmon.Query, hosts []string, users int,
 				t0 := time.Now()
 				rs, err := conns[u].Query(ctx, uq)
 				if err != nil {
-					st.errors++
+					if errors.Is(err, gridmon.ErrOverloaded) {
+						st.shedLats = append(st.shedLats, time.Since(t0))
+						// Back off as a well-behaved shed client does,
+						// instead of hammering the gate.
+						time.Sleep(time.Millisecond)
+					} else {
+						st.errors++
+					}
 					continue
 				}
-				st.latencies = append(st.latencies, time.Since(t0))
+				done := time.Now()
+				observe(t0, done)
+				st.latencies = append(st.latencies, done.Sub(t0))
 				st.hits += rs.Work.CacheHits
 				st.misses += rs.Work.CacheMisses
 				if think > 0 {
@@ -234,18 +342,27 @@ func runLevel(addr string, q gridmon.Query, hosts []string, users int,
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	return mergeStats(users, stats, time.Since(start)), nil
+}
 
-	var all []time.Duration
+// mergeStats folds the per-user tallies into one level's result.
+func mergeStats(users int, stats []userStats, elapsed time.Duration) levelResult {
+	var all, shed []time.Duration
 	res := levelResult{Users: users}
 	hits, misses := 0, 0
 	for _, st := range stats {
 		all = append(all, st.latencies...)
+		shed = append(shed, st.shedLats...)
 		res.Errors += st.errors
 		hits += st.hits
 		misses += st.misses
 	}
 	res.Queries = len(all)
+	res.Shed = len(shed)
+	if len(shed) > 0 {
+		sort.Slice(shed, func(i, j int) bool { return shed[i] < shed[j] })
+		res.ShedP99MS = ms(percentile(shed, 0.99))
+	}
 	if elapsed > 0 {
 		res.Throughput = float64(res.Queries) / elapsed.Seconds()
 	}
@@ -263,7 +380,7 @@ func runLevel(addr string, q gridmon.Query, hosts []string, users int,
 		rate := float64(hits) / float64(hits+misses)
 		res.CacheHitRate = &rate
 	}
-	return res, nil
+	return res
 }
 
 // needsHost reports whether the query shape requires a Host: the
@@ -293,15 +410,15 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func printTable(results []levelResult) {
-	fmt.Printf("%7s %9s %7s %12s %10s %10s %10s %9s\n",
-		"users", "queries", "errors", "qps", "mean-ms", "p50-ms", "p99-ms", "cache-hit")
+	fmt.Printf("%7s %9s %7s %7s %12s %10s %10s %10s %9s\n",
+		"users", "queries", "errors", "shed", "qps", "mean-ms", "p50-ms", "p99-ms", "cache-hit")
 	for _, r := range results {
 		hit := "-"
 		if r.CacheHitRate != nil {
 			hit = fmt.Sprintf("%.1f%%", 100**r.CacheHitRate)
 		}
-		fmt.Printf("%7d %9d %7d %12.1f %10.3f %10.3f %10.3f %9s\n",
-			r.Users, r.Queries, r.Errors, r.Throughput, r.MeanMS, r.P50MS, r.P99MS, hit)
+		fmt.Printf("%7d %9d %7d %7d %12.1f %10.3f %10.3f %10.3f %9s\n",
+			r.Users, r.Queries, r.Errors, r.Shed, r.Throughput, r.MeanMS, r.P50MS, r.P99MS, hit)
 	}
 }
 
@@ -345,35 +462,65 @@ func gridHosts(addr string) ([]string, error) {
 	return rg.Hosts(ctx)
 }
 
-// selfServe builds and serves an in-process grid, returning a stop
-// function and the bound loopback address.
-func selfServe(hostsList string, producers int, advance, cacheTTL time.Duration) (func(), string, error) {
+// selfConfig is everything needed to build (and rebuild, for the
+// restart scenario) the in-process grid server.
+type selfConfig struct {
+	hosts        []string
+	producers    int
+	advance      time.Duration
+	cacheTTL     time.Duration
+	dataDir      string
+	admitMax     int
+	admitQueue   int
+	admitTimeout time.Duration
+}
+
+// selfServer is the in-process grid server, restartable over the same
+// data directory and address — the self-serve counterpart of killing
+// and relaunching gridmon-live -data.
+type selfServer struct {
+	cfg      selfConfig
+	addr     string
+	srv      *gridmon.TransportServer
+	grid     *gridmon.Grid
+	stopPump chan struct{}
+}
+
+// startSelfServer builds the grid from cfg and serves it on listenAddr.
+func startSelfServer(cfg selfConfig, listenAddr string) (*selfServer, error) {
 	opts := []gridmon.Option{
-		gridmon.WithHosts(strings.Split(hostsList, ",")...),
-		gridmon.WithRGMAProducers(producers),
+		gridmon.WithHosts(cfg.hosts...),
+		gridmon.WithRGMAProducers(cfg.producers),
 		gridmon.WithWallClock(),
 	}
-	if cacheTTL > 0 {
-		opts = append(opts, gridmon.WithQueryCache(cacheTTL))
+	if cfg.cacheTTL > 0 {
+		opts = append(opts, gridmon.WithQueryCache(cfg.cacheTTL))
+	}
+	if cfg.dataDir != "" {
+		opts = append(opts, gridmon.WithStorage(cfg.dataDir))
+	}
+	if cfg.admitMax > 0 {
+		opts = append(opts, gridmon.WithAdmission(cfg.admitMax, cfg.admitQueue, cfg.admitTimeout))
 	}
 	grid, err := gridmon.New(opts...)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
 	srv := gridmon.NewTransportServer()
+	srv.Concurrent = true
 	grid.Serve(srv)
-	bound, err := srv.Listen("127.0.0.1:0")
+	bound, err := srv.Listen(listenAddr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	stopPump := make(chan struct{})
-	if advance > 0 {
-		go func() {
-			ticker := time.NewTicker(advance)
+	s := &selfServer{cfg: cfg, addr: bound, srv: srv, grid: grid, stopPump: make(chan struct{})}
+	if cfg.advance > 0 {
+		go func(stop chan struct{}, grid *gridmon.Grid) {
+			ticker := time.NewTicker(cfg.advance)
 			defer ticker.Stop()
 			for {
 				select {
-				case <-stopPump:
+				case <-stop:
 					return
 				case <-ticker.C:
 					if err := grid.Advance(grid.Now()); err != nil {
@@ -381,7 +528,40 @@ func selfServe(hostsList string, producers int, advance, cacheTTL time.Duration)
 					}
 				}
 			}
-		}()
+		}(s.stopPump, grid)
 	}
-	return func() { close(stopPump); srv.Close() }, bound, nil
+	return s, nil
+}
+
+// kill is the crash: the pump stops, the listener and every connection
+// drop, and the grid is abandoned — no Close, no goodbye snapshot, so a
+// restart over the same -data recovers from WAL + last snapshot exactly
+// as after a kill -9.
+func (s *selfServer) kill() {
+	close(s.stopPump)
+	s.srv.Close()
+}
+
+// restart rebuilds the grid over the same configuration (and data
+// directory) and re-listens on the same address.
+func (s *selfServer) restart() error {
+	next, err := startSelfServer(s.cfg, s.addr)
+	if err != nil {
+		return err
+	}
+	*s = *next
+	return nil
+}
+
+// stop shuts the server down cleanly (final snapshot included).
+func (s *selfServer) stop() {
+	select {
+	case <-s.stopPump:
+	default:
+		close(s.stopPump)
+	}
+	s.srv.Close()
+	if err := s.grid.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }

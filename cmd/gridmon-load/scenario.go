@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gridmon "repro"
+)
+
+// The fault scenarios: deliberately break the serving side mid-run and
+// measure what clients actually experience. Both emit one JSON document
+// on stdout (they are measurement tools feeding dashboards and CI, not
+// tables for eyeballs).
+
+// restartReport is the -scenario restart JSON shape.
+type restartReport struct {
+	Scenario string `json:"scenario"` // "restart"
+	Users    int    `json:"users"`
+	// KilledAfterMS is when into the run the server was killed;
+	// DownMS how long it stayed down before the restart began;
+	// RestartMS how long the rebuild (WAL/snapshot recovery included)
+	// took until the listener was back.
+	KilledAfterMS float64 `json:"killed_after_ms"`
+	DownMS        float64 `json:"down_ms"`
+	RestartMS     float64 `json:"restart_ms"`
+	// RecoveryGapMS is the client-observed outage: from the kill to the
+	// completion of the first success whose request began after it,
+	// retries included.
+	RecoveryGapMS float64     `json:"recovery_gap_ms"`
+	Level         levelResult `json:"level"`
+}
+
+// runRestartScenario drives `users` retrying clients while the
+// self-served grid is killed a third into the window and restarted
+// (over the same data directory and address) a sixth of a window
+// later. The outage turns into slow retried queries, not errors, so
+// the pass/fail gate is recovery itself: the run fails when the server
+// never comes back or no client lands a query after the kill.
+func runRestartScenario(self *selfServer, q gridmon.Query, hosts []string,
+	users int, duration, think time.Duration) int {
+	if duration < 300*time.Millisecond {
+		log.Printf("-duration %v is too short to fit an outage; use >= 300ms", duration)
+		return 1
+	}
+	killAfter := duration / 3
+	downFor := duration / 6
+
+	// Clients that ride out the outage on their own: generous retry
+	// budget, capped backoff — the DialWith posture a production client
+	// of a restartable server would run.
+	dial := gridmon.DialOptions{
+		AttemptTimeout: 2 * time.Second,
+		MaxRetries:     100,
+		Backoff:        gridmon.Backoff{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+	}
+
+	// The kill timestamp is read by every worker's observe hook while
+	// the fault goroutine writes it, so it travels as an atomic. It is
+	// stamped AFTER kill() returns — with the listener and every
+	// connection closed, any success whose request began later can only
+	// have been served by the restarted server, so the recovery gap
+	// can't be faked by a response already sitting in a socket buffer.
+	// restartBegan/restartDone are only read after fault.Wait().
+	var killedAtNS atomic.Int64
+	var restartBegan, restartDone time.Time
+	var firstRecovery atomic.Int64 // UnixNano of the first post-kill success
+	var fault sync.WaitGroup
+	fault.Add(1)
+	start := time.Now()
+	go func() {
+		defer fault.Done()
+		time.Sleep(killAfter)
+		self.kill()
+		killedAt := time.Now()
+		killedAtNS.Store(killedAt.UnixNano())
+		fmt.Fprintf(os.Stderr, "scenario restart: server killed %.0fms in\n", ms(killedAt.Sub(start)))
+		time.Sleep(downFor)
+		restartBegan = time.Now()
+		if err := self.restart(); err != nil {
+			log.Printf("restart failed: %v", err)
+			return
+		}
+		restartDone = time.Now()
+		fmt.Fprintf(os.Stderr, "scenario restart: server back on %s after %.0fms down\n",
+			self.addr, ms(restartDone.Sub(killedAt)))
+	}()
+
+	// The workers run straight through the outage; the first success
+	// whose REQUEST began after the kill marks client-observed recovery.
+	res, err := runLevelObserved(self.addr, q, hosts, users, duration, think, dial,
+		func(began, done time.Time) {
+			killed := killedAtNS.Load()
+			if killed == 0 || began.UnixNano() < killed {
+				return
+			}
+			ns := done.UnixNano()
+			for {
+				cur := firstRecovery.Load()
+				if cur != 0 && cur <= ns {
+					return
+				}
+				if firstRecovery.CompareAndSwap(cur, ns) {
+					return
+				}
+			}
+		})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fault.Wait()
+	if restartDone.IsZero() {
+		log.Print("scenario restart: the server never came back")
+		return 1
+	}
+
+	killedAt := time.Unix(0, killedAtNS.Load())
+	rep := restartReport{
+		Scenario:      "restart",
+		Users:         users,
+		KilledAfterMS: ms(killedAt.Sub(start)),
+		DownMS:        ms(restartBegan.Sub(killedAt)),
+		RestartMS:     ms(restartDone.Sub(restartBegan)),
+		Level:         res,
+	}
+	first := firstRecovery.Load()
+	if first == 0 {
+		log.Print("scenario restart: no client recovered after the kill")
+		return 1
+	}
+	rep.RecoveryGapMS = ms(time.Unix(0, first).Sub(killedAt))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// overloadReport is the -scenario overload JSON shape.
+type overloadReport struct {
+	Scenario string `json:"scenario"` // "overload"
+	// Calibration is the single-user run that estimates per-slot
+	// capacity; OfferedUsers is the closed-loop load derived from it
+	// (at least 2× the saturating concurrency).
+	Calibration  levelResult `json:"calibration"`
+	OfferedUsers int         `json:"offered_users"`
+	AdmitMax     int         `json:"admit_max"`
+	AdmitQueue   int         `json:"admit_queue"`
+	Overload     levelResult `json:"overload"`
+	// ShedRate is shed/(shed+accepted+errors) during the overload
+	// window; P99Ratio is overload accepted p99 over calibration p99 —
+	// under admission control it should stay small while ShedRate
+	// absorbs the excess, without admission it is the collapse factor.
+	ShedRate float64 `json:"shed_rate"`
+	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// runOverloadScenario calibrates single-user capacity, then offers at
+// least twice the saturating load and reports how the server coped.
+func runOverloadScenario(target string, q gridmon.Query, hosts []string,
+	duration, think time.Duration, admitMax, admitQueue int) int {
+	calDur := duration / 3
+	if calDur < 500*time.Millisecond {
+		calDur = 500 * time.Millisecond
+	}
+	cal, err := runLevel(target, q, hosts, 1, calDur, think, gridmon.DialOptions{})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if cal.Queries == 0 {
+		log.Print("scenario overload: calibration completed no queries")
+		return 1
+	}
+
+	// Closed-loop saturation sits at ~admitMax concurrent users (each
+	// slot always busy); offer at least twice that, plus the queue,
+	// so the gate demonstrably sheds. Against an ungated server the
+	// floor still offers well past one CPU's worth.
+	users := 2*admitMax + admitQueue + 2
+	if users < 8 {
+		users = 8
+	}
+	over, err := runLevel(target, q, hosts, users, duration, think, gridmon.DialOptions{})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	rep := overloadReport{
+		Scenario:     "overload",
+		Calibration:  cal,
+		OfferedUsers: users,
+		AdmitMax:     admitMax,
+		AdmitQueue:   admitQueue,
+		Overload:     over,
+	}
+	if total := over.Shed + over.Queries + over.Errors; total > 0 {
+		rep.ShedRate = float64(over.Shed) / float64(total)
+	}
+	if cal.P99MS > 0 {
+		rep.P99Ratio = over.P99MS / cal.P99MS
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return exitForErrors([]levelResult{over}, 0)
+}

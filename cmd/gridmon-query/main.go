@@ -11,6 +11,7 @@
 // Examples:
 //
 //	gridmon-query ops.list
+//	gridmon-query -o json ops.stats
 //	gridmon-query grid.hosts
 //	gridmon-query grid.query system=MDS role='Aggregate Information Server' 'expr=(objectclass=MdsCpu)'
 //	gridmon-query -o json grid.query system=Hawkeye role='Aggregate Information Server' 'expr=TARGET.CpuLoad > 50'
@@ -265,6 +266,17 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 			parts[i] = string(s)
 		}
 		return strings.Join(parts, "\n"), nil
+	case "ops.stats":
+		var st gridmon.Stats
+		if err := client.CallV2(ctx, op, nil, &st); err != nil {
+			return "", err
+		}
+		if output == "json" {
+			return asJSON(st)
+		}
+		return fmt.Sprintf(
+			"queries      %d\nerrors       %d\nshed         %d\nqueued       %d\nqueue_depth  %d\nin_flight    %d\ncache_hits   %d\ncache_misses %d",
+			st.Queries, st.Errors, st.Shed, st.Queued, st.QueueDepth, st.InFlight, st.CacheHits, st.CacheMisses), nil
 	case "grid.query":
 		q := gridmon.Query{
 			System: gridmon.System(params["system"]),

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hawkeye"
 	"repro/internal/liveops"
 	"repro/internal/mds"
+	"repro/internal/metrics"
 	"repro/internal/rgma"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -40,6 +41,13 @@ type Grid struct {
 	// cache is the opt-in GIIS-style query result cache (nil without
 	// WithQueryCache).
 	cache *queryCache
+
+	// counters is the serving path's self-observability (Grid.Stats,
+	// ops.stats); always allocated, lock-free.
+	counters *metrics.ServeCounters
+	// admit is the opt-in overload gate in front of Query and the legacy
+	// ops (nil without WithAdmission).
+	admit *admission
 
 	// MDS: one GIIS aggregating a warm GRIS per host.
 	giis   *mds.GIIS
@@ -86,6 +94,10 @@ func New(opts ...Option) (*Grid, error) {
 	}
 	if cfg.queryCacheTTL > 0 {
 		g.cache = newQueryCache(cfg.queryCacheTTL)
+	}
+	g.counters = &metrics.ServeCounters{}
+	if cfg.admitMax > 0 {
+		g.admit = newAdmission(cfg.admitMax, cfg.admitQueue, cfg.admitTimeout, g.counters)
 	}
 	if cfg.systems[MDS] {
 		if err := g.buildMDS(); err != nil {
@@ -392,6 +404,7 @@ func NewTransportServer() *TransportServer { return transport.NewServer() }
 //	grid.subscribe  body: Subscription     -> event stream (see Subscribe)
 //	grid.hosts      ->  {"hosts": [...]}
 //	grid.systems    ->  {"systems": [...]}
+//	ops.stats       ->  Stats (serving counters: queries/errors/shed/cache)
 //
 // plus the six legacy param-based ops (mds.query, mds.hosts, rgma.query,
 // rgma.tables, hawkeye.query, hawkeye.pool) in both protocol
@@ -412,6 +425,7 @@ func (g *Grid) Serve(srv *transport.Server) {
 		return g.Query(ctx, q)
 	})
 	g.serveSubscribe(srv)
+	g.serveStats(srv)
 	transport.Handle(srv, "grid.hosts", func(context.Context, struct{}) (HostList, error) {
 		return HostList{Hosts: g.Hosts()}, nil
 	})
@@ -426,12 +440,21 @@ func (g *Grid) Serve(srv *transport.Server) {
 		Now:      g.clock,
 		// The legacy ops touch the same components the Advance pump
 		// mutates; serialize them through the facade's write lock, and
-		// treat them as potential writes for the query cache.
-		Serialize: func(run func()) {
+		// treat them as potential writes for the query cache. The
+		// admission gate covers them too: under overload a legacy op is
+		// shed (ErrOverloaded) before it can pile onto the write lock.
+		Serialize: func(ctx context.Context, run func()) error {
+			if g.admit != nil {
+				if err := g.admit.acquire(ctx); err != nil {
+					return err
+				}
+				defer g.admit.release()
+			}
 			g.mu.Lock()
 			defer g.mu.Unlock()
 			g.invalidateCacheLocked()
 			run()
+			return nil
 		},
 	})
 }

@@ -1,0 +1,230 @@
+// Package faultconn injects deterministic network faults into net.Conn
+// for chaos testing. An Injector built from a seeded Plan wraps
+// connections — via transport.Server.WrapConn on the serving side, or
+// gridmon.DialOptions.WrapConn on the client side — and perturbs their
+// I/O with the classic failure classes a grid client must survive:
+// added latency, periodic stalls, fragmented (partial) writes, and
+// hard connection resets in the middle of a frame.
+//
+// Everything is driven by the Plan and its Seed, so a failing chaos run
+// reproduces exactly; there is no global randomness. It is the network
+// counterpart of the storage layer's WrapWAL seam (internal/storage).
+package faultconn
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan describes which faults to inject and how hard. The zero value
+// injects nothing (wrapped connections behave normally); each field
+// arms one fault class independently, so tests isolate a class or
+// combine several.
+type Plan struct {
+	// Seed seeds the per-connection jitter sources; each wrapped
+	// connection derives its own stream from Seed and its wrap index,
+	// so behavior does not depend on goroutine interleaving.
+	Seed int64
+
+	// FaultConns limits injection to the first N wrapped connections
+	// (in wrap order); later connections pass through clean. 0 faults
+	// every connection. This is how a test arranges "the first dial is
+	// doomed, the reconnect succeeds" deterministically.
+	FaultConns int
+
+	// WriteLatency delays each write by this much; ReadLatency delays
+	// each read. Jitter (0..1) randomizes both symmetrically by that
+	// fraction, from the seeded per-connection stream.
+	WriteLatency time.Duration
+	ReadLatency  time.Duration
+	Jitter       float64
+
+	// StallEvery stalls every Nth write on a connection for StallFor
+	// before the bytes move — the long GC pause / saturated switch
+	// class of fault. 0 disables. The stall is a real sleep: a peer's
+	// deadline still fires, but the blocked write itself returns only
+	// after the stall elapses.
+	StallEvery int
+	StallFor   time.Duration
+
+	// ChunkBytes fragments each write into chunks of at most this many
+	// bytes, issued as separate writes to the underlying connection —
+	// the partial-write class. 0 disables. Framing must reassemble
+	// these transparently; the chaos suite asserts it does.
+	ChunkBytes int
+
+	// ResetAfterBytes hard-closes a connection once it has written this
+	// many bytes, cutting mid-frame when the boundary lands inside one
+	// (the bytes up to the boundary are sent first, so the peer sees a
+	// torn frame, not a clean EOF between frames). 0 disables.
+	ResetAfterBytes int64
+}
+
+// Stats counts the faults an Injector actually delivered, for test
+// assertions that the intended fault class really fired.
+type Stats struct {
+	// Wrapped counts connections wrapped; Faulted counts those that got
+	// fault injection (the first Plan.FaultConns of them).
+	Wrapped int64 `json:"wrapped"`
+	Faulted int64 `json:"faulted"`
+	// Stalls, Chunks and Resets count delivered faults by class.
+	Stalls int64 `json:"stalls"`
+	Chunks int64 `json:"chunks"`
+	Resets int64 `json:"resets"`
+}
+
+// Injector wraps connections according to one Plan. It is safe for
+// concurrent use; Wrap is handed directly to the transport seams.
+type Injector struct {
+	plan    Plan
+	wrapped atomic.Int64
+	faulted atomic.Int64
+	stalls  atomic.Int64
+	chunks  atomic.Int64
+	resets  atomic.Int64
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Wrap returns conn perturbed per the plan (or conn itself when this
+// connection is past Plan.FaultConns). The signature matches
+// transport.Server.WrapConn and gridmon.DialOptions.WrapConn.
+func (inj *Injector) Wrap(conn net.Conn) net.Conn {
+	idx := inj.wrapped.Add(1)
+	if fc := inj.plan.FaultConns; fc > 0 && idx > int64(fc) {
+		return conn
+	}
+	inj.faulted.Add(1)
+	return &faultConn{
+		Conn: conn,
+		inj:  inj,
+		rng:  rand.New(rand.NewSource(inj.plan.Seed + idx)),
+	}
+}
+
+// Stats snapshots the delivered-fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		Wrapped: inj.wrapped.Load(),
+		Faulted: inj.faulted.Load(),
+		Stalls:  inj.stalls.Load(),
+		Chunks:  inj.chunks.Load(),
+		Resets:  inj.resets.Load(),
+	}
+}
+
+// errInjectedReset is what a torn connection's writer sees locally; the
+// peer sees the reset (or torn frame) on the wire.
+type injectedReset struct{ after int64 }
+
+func (e *injectedReset) Error() string {
+	return fmt.Sprintf("faultconn: injected connection reset after %d bytes", e.after)
+}
+
+// faultConn is one perturbed connection.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+
+	// mu guards the fault bookkeeping below. The transport writes
+	// frames under its own lock, but reads run on another goroutine and
+	// chaos tests may share a conn harder than the transport does.
+	mu      sync.Mutex
+	rng     *rand.Rand // per-conn jitter stream; guarded by mu
+	writes  int        // writes issued, for StallEvery; guarded by mu
+	written int64      // bytes written, for ResetAfterBytes; guarded by mu
+	reset   bool       // the reset already fired; guarded by mu
+}
+
+// jittered perturbs d by ±Jitter/2 from the conn's seeded stream.
+// Callers hold c.mu.
+func (c *faultConn) jittered(d time.Duration) time.Duration {
+	j := c.inj.plan.Jitter
+	if d <= 0 || j <= 0 || j > 1 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 - j/2 + j*c.rng.Float64()))
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.jittered(c.inj.plan.ReadLatency)
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	plan := &c.inj.plan
+	c.mu.Lock()
+	if c.reset {
+		after := c.written
+		c.mu.Unlock()
+		return 0, &injectedReset{after: after}
+	}
+	c.writes++
+	delay := c.jittered(plan.WriteLatency)
+	var stall time.Duration
+	if plan.StallEvery > 0 && c.writes%plan.StallEvery == 0 {
+		stall = c.jittered(plan.StallFor)
+	}
+	c.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if stall > 0 {
+		c.inj.stalls.Add(1)
+		time.Sleep(stall)
+	}
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if cb := plan.ChunkBytes; cb > 0 && len(chunk) > cb {
+			chunk = chunk[:cb]
+			c.inj.chunks.Add(1)
+		}
+		c.mu.Lock()
+		if ra := plan.ResetAfterBytes; ra > 0 && c.written+int64(len(chunk)) > ra {
+			// The boundary lands inside this chunk: push the bytes up
+			// to it so the peer holds a torn frame, then cut hard.
+			allowed := ra - c.written
+			c.reset = true
+			c.mu.Unlock()
+			if allowed > 0 {
+				n, _ := c.Conn.Write(chunk[:allowed])
+				total += n
+			}
+			c.inj.resets.Add(1)
+			c.hardClose()
+			return total, &injectedReset{after: ra}
+		}
+		c.mu.Unlock()
+		n, err := c.Conn.Write(chunk)
+		total += n
+		c.mu.Lock()
+		c.written += int64(n)
+		c.mu.Unlock()
+		if err != nil {
+			return total, err
+		}
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+// hardClose makes the cut look like a crash, not a goodbye: zero linger
+// turns the close into a TCP RST when the conn is TCP, so the peer gets
+// "connection reset" mid-frame instead of a clean FIN.
+func (c *faultConn) hardClose() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}

@@ -36,8 +36,11 @@ type Deployment struct {
 	// Serialize, when non-nil, wraps every op's execution. The Grid
 	// facade passes its own mutex here, so legacy param-based ops cannot
 	// race the facade's Advance pump on the shared components (the GIIS
-	// cache, producer rows) the way unserialized direct calls would.
-	Serialize func(run func())
+	// cache, producer rows) the way unserialized direct calls would. A
+	// non-nil return refuses the op without running it — the facade's
+	// admission gate sheds with transport.CodeOverloaded this way — and
+	// ctx (the caller's, deadline included) bounds any wait inside.
+	Serialize func(ctx context.Context, run func()) error
 }
 
 // OpRequest is the v2 request body of the param-based ops: the same
@@ -74,13 +77,16 @@ func Register(srv *transport.Server, dep Deployment) {
 	}
 	serialize := dep.Serialize
 	if serialize == nil {
-		serialize = func(run func()) { run() }
+		serialize = func(_ context.Context, run func()) error { run(); return nil }
 	}
 	// Every op runs inside the deployment's serializer before touching
-	// the shared components.
+	// the shared components; a serializer refusal (admission shed) is the
+	// op's failure.
 	serialized := func(op string, fn opFunc) {
 		register(srv, op, func(ctx context.Context, params map[string]string) (payload string, err error) {
-			serialize(func() { payload, err = fn(ctx, params) })
+			if serr := serialize(ctx, func() { payload, err = fn(ctx, params) }); serr != nil {
+				return "", serr
+			}
 			return payload, err
 		})
 	}
@@ -180,7 +186,15 @@ func register(srv *transport.Server, op string, fn opFunc) {
 		//gridmon:nolint ctxflow the v1 protocol has no deadline field; there is nothing to propagate
 		payload, err := fn(context.Background(), req.Params)
 		if err != nil {
-			return transport.Response{Error: transport.AsError(err).Message}
+			e := transport.AsError(err)
+			msg := e.Message
+			// The v1 Response has no code field; mark admission sheds in
+			// the message so string-only legacy clients can still tell a
+			// retryable refusal from a real failure.
+			if e.Code == transport.CodeOverloaded {
+				msg = "overloaded: " + msg
+			}
+			return transport.Response{Error: msg}
 		}
 		return transport.Response{OK: true, Payload: payload}
 	})

@@ -1,0 +1,65 @@
+package metrics
+
+import "sync/atomic"
+
+// ServeCounters is the live serving path's self-observability: lock-free
+// counters the Grid facade bumps on every query and the admission gate
+// bumps on every shed or queue transit. One instance lives for a grid's
+// lifetime; Snapshot reads a consistent-enough point-in-time view (each
+// counter is individually atomic — the snapshot is not a transaction,
+// which is fine for monitoring).
+//
+// This is the first slice of the live metrics endpoint (ROADMAP item 4):
+// Grid.Stats() snapshots these counters and the ops.stats transport op
+// serves the snapshot to remote clients.
+type ServeCounters struct {
+	// Queries counts facade queries answered successfully (cache hits
+	// included).
+	Queries atomic.Int64
+	// Errors counts facade queries that failed for any reason other than
+	// admission shedding.
+	Errors atomic.Int64
+	// Shed counts requests refused by admission control: over the
+	// concurrency limit with a full wait queue, or timed out waiting.
+	Shed atomic.Int64
+	// Queued counts requests that waited in the admission queue before
+	// being admitted (a measure of how often the server runs at its
+	// concurrency limit).
+	Queued atomic.Int64
+	// QueueDepth is the number of requests waiting in the admission
+	// queue right now.
+	QueueDepth atomic.Int64
+	// InFlight is the number of queries executing right now.
+	InFlight atomic.Int64
+	// CacheHits / CacheMisses mirror the query cache's lifetime counters
+	// as seen from the serving path (zero without WithQueryCache).
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+}
+
+// ServeStats is a point-in-time snapshot of ServeCounters — the typed
+// struct that travels the wire as the ops.stats response body.
+type ServeStats struct {
+	Queries     int64 `json:"queries"`
+	Errors      int64 `json:"errors"`
+	Shed        int64 `json:"shed"`
+	Queued      int64 `json:"queued"`
+	QueueDepth  int64 `json:"queue_depth"`
+	InFlight    int64 `json:"in_flight"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// Snapshot reads every counter once.
+func (c *ServeCounters) Snapshot() ServeStats {
+	return ServeStats{
+		Queries:     c.Queries.Load(),
+		Errors:      c.Errors.Load(),
+		Shed:        c.Shed.Load(),
+		Queued:      c.Queued.Load(),
+		QueueDepth:  c.QueueDepth.Load(),
+		InFlight:    c.InFlight.Load(),
+		CacheHits:   c.CacheHits.Load(),
+		CacheMisses: c.CacheMisses.Load(),
+	}
+}

@@ -115,6 +115,13 @@ type Server struct {
 	// are serialized, matching the single-backend daemons being modeled.
 	Concurrent bool
 	callMu     sync.Mutex
+	// WrapConn, when non-nil, wraps every accepted connection before the
+	// server reads from it — the fault-injection seam mirroring
+	// storage's Options.WrapWAL: the chaos tests install a faultconn
+	// wrapper here to inject latency, stalls, partial writes and
+	// mid-frame resets between real clients and real handlers. Set it
+	// before Listen; production servers leave it nil.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // NewServer returns a server with only the built-in "ops.list"
@@ -201,6 +208,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
+		}
+		if s.WrapConn != nil {
+			// The wrapped conn is what gets stored and closed, so a
+			// wrapper's own teardown (releasing a stall, say) runs when
+			// the server shuts the connection down.
+			conn = s.WrapConn(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -325,7 +338,16 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection as a Client. It is the
+// client-side half of the fault-injection seam: callers that need to
+// interpose on the wire (see internal/faultconn) dial themselves, wrap
+// the conn, and hand it here; Dial/DialContext are equivalent to
+// NewClient over a plain TCP connect.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
 // Call performs one request/response exchange.

@@ -44,6 +44,11 @@ const (
 	// CodeCanceled: the caller cancelled the request (context.Canceled,
 	// not a deadline).
 	CodeCanceled Code = "canceled"
+	// CodeOverloaded: the server's admission control shed the request —
+	// it was over the concurrency limit and the wait queue was full (or
+	// the queue wait timed out). The request did no work; a retry after
+	// backoff is safe for idempotent ops.
+	CodeOverloaded Code = "overloaded"
 	// CodeProtocol: the peer does not speak the v2 protocol (a v1-only
 	// server answered a v2 frame).
 	CodeProtocol Code = "protocol_mismatch"
@@ -58,6 +63,20 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s [%s]", e.Message, e.Code) }
+
+// Is makes errors.Is match structured errors by code: a target *Error
+// with an empty Message matches any error carrying the same Code, so a
+// package can export one canonical instance per failure class (e.g.
+// gridmon.ErrOverloaded) and callers write errors.Is(err, that) instead
+// of comparing codes by hand. A target with a Message requires an exact
+// match of both fields.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return e.Code == t.Code && (t.Message == "" || t.Message == e.Message)
+}
 
 // Errf builds a coded error.
 func Errf(code Code, format string, args ...interface{}) *Error {

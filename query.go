@@ -69,6 +69,10 @@ const (
 	ErrUnavailable = transport.CodeUnavailable
 	ErrDeadline    = transport.CodeDeadline
 	ErrCanceled    = transport.CodeCanceled
+	// ErrOverloadedCode is the code every admission-control shed carries
+	// (the canonical error instance is ErrOverloaded, which errors.Is
+	// matches by this code).
+	ErrOverloadedCode = transport.CodeOverloaded
 )
 
 // CodeOf extracts the structured code from a query error (ErrExec for
@@ -93,9 +97,15 @@ func CodeOf(err error) ErrorCode { return transport.ErrorCode(err) }
 // With WithQueryCache configured, an identical query repeated within the
 // TTL is answered from the cache without taking the facade lock at all;
 // Work then reports CacheHits=1 and no engine accounting.
+//
+// With WithAdmission configured, a query that misses the cache must be
+// admitted before it executes: past the concurrency limit it waits in
+// the bounded FIFO queue, and past that bound (or the queue timeout) it
+// fast-fails with ErrOverloaded — see WithAdmission for the semantics.
 func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
+		g.counters.Errors.Add(1)
 		return nil, transport.AsError(err)
 	}
 	role := q.Role
@@ -107,12 +117,16 @@ func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 		key = keyFor(q, role)
 		if e, ok := g.cache.lookup(key, start); ok {
 			// A hit did no engine work: only the response-shaped fields
-			// carry over from the cached computation.
+			// carry over from the cached computation. Admission is not
+			// consulted — a hit consumes no engine capacity, which is
+			// exactly what the gate protects.
 			work := Work{
 				CacheHits:       1,
 				RecordsReturned: e.work.RecordsReturned,
 				ResponseBytes:   e.work.ResponseBytes,
 			}
+			g.counters.Queries.Add(1)
+			g.counters.CacheHits.Add(1)
 			return &ResultSet{
 				System:  q.System,
 				Role:    role,
@@ -123,10 +137,21 @@ func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 			}, nil
 		}
 	}
+	if g.admit != nil {
+		if err := g.admit.acquire(ctx); err != nil {
+			// Sheds are accounted inside the gate (Stats.Shed), not as
+			// query errors; a ctx expiry while queued counts as neither.
+			return nil, err
+		}
+		defer g.admit.release()
+	}
+	g.counters.InFlight.Add(1)
+	defer g.counters.InFlight.Add(-1)
 	g.mu.RLock()
 	rq, err := g.querier(q)
 	if err != nil {
 		g.mu.RUnlock()
+		g.counters.Errors.Add(1)
 		return nil, err
 	}
 	var gen uint64
@@ -140,6 +165,7 @@ func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	records, work, err := rq.QueryRecords(ctx, g.clock())
 	g.mu.RUnlock()
 	if err != nil {
+		g.counters.Errors.Add(1)
 		return nil, transport.AsError(err)
 	}
 	// MDS applies Attrs natively inside the LDAP query (so Work reflects
@@ -150,7 +176,9 @@ func (g *Grid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	if g.cache != nil {
 		g.cache.store(key, gen, start, records, work)
 		work.CacheMisses = 1
+		g.counters.CacheMisses.Add(1)
 	}
+	g.counters.Queries.Add(1)
 	return &ResultSet{
 		System:  q.System,
 		Role:    role,

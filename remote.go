@@ -4,10 +4,124 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
 )
+
+// Backoff shapes the delay between a resilient client's retry attempts:
+// exponential growth from Base by Multiplier, capped at Max, with a
+// seeded ±Jitter fraction randomized on top so a fleet of clients
+// recovering from the same outage does not retry in lockstep. The zero
+// value means 10ms base, 1s cap, ×2 growth, ±20% jitter from a fixed
+// seed — deterministic across runs, which is what the chaos tests need.
+type Backoff struct {
+	// Base is the delay before the first retry (default 10ms).
+	Base time.Duration
+	// Max caps the grown delay (default 1s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized symmetrically
+	// around it, 0..1 (default 0.2: the delay varies ±10%).
+	Jitter float64
+	// Seed seeds the jitter source (0 uses a fixed default seed, so an
+	// unconfigured client is still deterministic).
+	Seed int64
+}
+
+func (b Backoff) base() time.Duration { return defDur(b.Base, 10*time.Millisecond) }
+func (b Backoff) max() time.Duration  { return defDur(b.Max, time.Second) }
+func (b Backoff) multiplier() float64 {
+	if b.Multiplier <= 1 {
+		return 2
+	}
+	return b.Multiplier
+}
+func (b Backoff) jitter() float64 {
+	if b.Jitter <= 0 || b.Jitter > 1 {
+		return 0.2
+	}
+	return b.Jitter
+}
+
+func defDur(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}
+
+// delay computes the nth retry's backoff (n counts from 0) using rng as
+// the jitter source. Callers serialize access to rng.
+func (b Backoff) delay(n int, rng *rand.Rand) time.Duration {
+	d := float64(b.base())
+	mult := b.multiplier()
+	limit := float64(b.max())
+	for i := 0; i < n && d < limit; i++ {
+		d *= mult
+	}
+	if d > limit {
+		d = limit
+	}
+	j := b.jitter()
+	d *= 1 - j/2 + j*rng.Float64()
+	return time.Duration(d)
+}
+
+// DialOptions configures the resilient remote client (DialWith). The
+// zero value is the plain client Dial builds: no per-attempt timeout, no
+// retries, no breaker.
+type DialOptions struct {
+	// AttemptTimeout bounds each individual attempt (dial + exchange);
+	// the caller's ctx still bounds the whole call, retries and backoff
+	// included. 0 leaves attempts bounded only by the ctx.
+	AttemptTimeout time.Duration
+	// MaxRetries is how many times a failed idempotent call is retried
+	// after the first attempt (0 = no retries). Only the idempotent
+	// request/response ops retry — Query, Hosts, Systems, Ops, Stats;
+	// Subscribe never does (replaying a subscribe handshake could ack
+	// duplicate event delivery — the consumer owns that decision).
+	// Retryable failures: connection errors (reset, EOF, refused dial),
+	// per-attempt deadline expiry, and CodeOverloaded sheds; definitive
+	// server answers (bad request, parse, exec, unavailable) are not
+	// retried. Connection-level failures reconnect automatically before
+	// the next attempt.
+	MaxRetries int
+	// Backoff shapes the delay between retries (zero value: 10ms base,
+	// ×2 growth, 1s cap, seeded ±20% jitter).
+	Backoff Backoff
+	// Breaker, when Threshold > 0, trips after that many consecutive
+	// failed attempts: calls then fail fast locally until Cooldown
+	// elapses and a half-open probe succeeds — the retry-storm guard.
+	Breaker Breaker
+	// WrapConn, when non-nil, wraps every connection the client opens
+	// (calls and subscribes alike) — the client half of the
+	// fault-injection seam (see internal/faultconn and
+	// transport.Server.WrapConn for the server half).
+	WrapConn func(net.Conn) net.Conn
+}
+
+// ClientStats is a snapshot of a RemoteGrid's local resilience counters
+// (the server-side view lives in Stats, fetched over ops.stats).
+type ClientStats struct {
+	// Calls counts idempotent request/response calls issued.
+	Calls int64 `json:"calls"`
+	// Retries counts additional attempts after a failed one.
+	Retries int64 `json:"retries"`
+	// Reconnects counts re-dials after a connection was torn down.
+	Reconnects int64 `json:"reconnects"`
+	// Overloaded counts CodeOverloaded sheds observed from the server.
+	Overloaded int64 `json:"overloaded"`
+	// BreakerState is the circuit breaker's current state (disabled /
+	// closed / open / half-open); BreakerOpens counts open transitions.
+	BreakerState string `json:"breaker_state"`
+	BreakerOpens int64  `json:"breaker_opens"`
+}
 
 // RemoteGrid is a connection to a grid served over TCP (cmd/gridmon-live
 // or any transport.Server passed to Grid.Serve). It implements the same
@@ -15,20 +129,246 @@ import (
 // Query returns the same records and Work (with Elapsed measuring the
 // full round trip), and the same Subscription delivers the same ordered
 // event sequence. It is safe for concurrent use; calls are serialized
-// over the single connection, and each Subscribe opens a dedicated
-// streaming connection of its own.
+// over one connection, and each Subscribe opens a dedicated streaming
+// connection of its own.
+//
+// Built with DialWith, the client is also resilient: idempotent calls
+// retry with exponential backoff across connection resets, per-attempt
+// deadline expiry and server overload sheds, reconnecting as needed,
+// and a circuit breaker (see Breaker) keeps a dead server from eating
+// retries. ClientStats exposes what the resilience machinery did.
 type RemoteGrid struct {
-	addr   string
-	client *transport.Client
+	addr string
+	opts DialOptions
+	br   *breaker // nil when the breaker is disabled
+
+	// rngMu guards rng, the backoff jitter source.
+	rngMu sync.Mutex
+	rng   *rand.Rand // guarded by rngMu
+
+	// connMu guards client, the current shared request/response
+	// connection; nil means the next call must dial.
+	connMu sync.Mutex
+	client *transport.Client // guarded by connMu
+
+	calls      atomic.Int64
+	retries    atomic.Int64
+	reconnects atomic.Int64
+	overloaded atomic.Int64
 }
 
-// Dial connects to a grid server.
+// Dial connects to a grid server with no resilience options — exactly
+// DialWith(addr, DialOptions{}).
 func Dial(addr string) (*RemoteGrid, error) {
-	c, err := transport.Dial(addr)
+	return DialWith(addr, DialOptions{})
+}
+
+// DialWith connects to a grid server with the given resilience options.
+// The initial connection is established eagerly, so an unreachable
+// address fails here rather than on the first call; later connection
+// losses are repaired automatically by the retry loop (a client with
+// MaxRetries 0 still reconnects on its next call after an error — it
+// just doesn't retry the failed call itself).
+func DialWith(addr string, opts DialOptions) (*RemoteGrid, error) {
+	r := &RemoteGrid{
+		addr: addr,
+		opts: opts,
+		br:   newBreaker(opts.Breaker),
+		rng:  rand.New(rand.NewSource(defSeed(opts.Backoff.Seed))),
+	}
+	//gridmon:nolint ctxflow compat root: Dial/DialWith are the pre-context entry points; per-call ctx governs everything after
+	c, err := r.dialClient(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteGrid{addr: addr, client: c}, nil
+	r.client = c
+	return r, nil
+}
+
+func defSeed(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	return 0x67726964 // "grid": fixed so unconfigured jitter is still reproducible
+}
+
+// dialClient opens one wrapped connection to the server.
+func (r *RemoteGrid) dialClient(ctx context.Context) (*transport.Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", r.addr)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.WrapConn != nil {
+		conn = r.opts.WrapConn(conn)
+	}
+	return transport.NewClient(conn), nil
+}
+
+// getClient returns the current shared connection, dialing a fresh one
+// if the last was torn down.
+func (r *RemoteGrid) getClient(ctx context.Context) (*transport.Client, error) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.client != nil {
+		return r.client, nil
+	}
+	c, err := r.dialClient(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.reconnects.Add(1)
+	r.client = c
+	return c, nil
+}
+
+// invalidate tears down a connection that failed mid-exchange: after a
+// deadline or reset the socket may hold a half-read frame, so the next
+// attempt must re-dial (see transport.Client.CallV2). Only the current
+// client is dropped — a concurrent call may already have replaced it.
+func (r *RemoteGrid) invalidate(c *transport.Client) {
+	r.connMu.Lock()
+	if r.client == c {
+		r.client = nil
+	}
+	r.connMu.Unlock()
+	c.Close()
+}
+
+// sleepBackoff waits out the nth retry's backoff or the ctx, whichever
+// ends first.
+func (r *RemoteGrid) sleepBackoff(ctx context.Context, n int) error {
+	r.rngMu.Lock()
+	d := r.opts.Backoff.delay(n, r.rng)
+	r.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return transport.AsError(ctx.Err())
+	}
+}
+
+// call runs one idempotent request/response exchange through the
+// resilience machinery: breaker gate, per-attempt timeout, retry with
+// backoff and reconnect.
+func (r *RemoteGrid) call(ctx context.Context, op string, req, resp interface{}) error {
+	r.calls.Add(1)
+	attempts := 1 + r.opts.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := r.sleepBackoff(ctx, attempt-1); err != nil {
+				return err
+			}
+			r.retries.Add(1)
+		}
+		if r.br != nil {
+			if err := r.br.allow(); err != nil {
+				// The circuit is open: fail fast without touching the
+				// wire. Not a wire failure, so it doesn't feed back into
+				// the breaker.
+				return err
+			}
+		}
+		c, err := r.getClient(ctx)
+		if err != nil {
+			// Dial failures are always connection-class: note, retry.
+			if r.br != nil {
+				r.br.failure()
+			}
+			lastErr = transport.AsError(err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		actx := ctx
+		cancel := func() {}
+		if r.opts.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.opts.AttemptTimeout)
+		}
+		err = c.CallV2(actx, op, req, resp)
+		cancel()
+		if err == nil {
+			if r.br != nil {
+				r.br.success()
+			}
+			return nil
+		}
+		lastErr = err
+		retry, reconnect, healthy := r.classify(ctx, err)
+		if reconnect {
+			r.invalidate(c)
+		}
+		if r.br != nil {
+			if healthy {
+				r.br.success()
+			} else {
+				r.br.failure()
+			}
+		}
+		if !retry || ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// classify decides what a failed attempt means: whether the call may be
+// retried, whether the connection must be re-dialed first, and whether
+// the server proved healthy (it delivered a definitive answer — even a
+// failure like parse_error is a healthy server doing its job, and must
+// not trip the breaker).
+func (r *RemoteGrid) classify(ctx context.Context, err error) (retry, reconnect, healthy bool) {
+	var te *transport.Error
+	if !errors.As(err, &te) {
+		// A plain error is connection-level I/O: reset, EOF, refused.
+		return true, true, false
+	}
+	switch te.Code {
+	case transport.CodeOverloaded:
+		// The server shed us cleanly; the connection is fine, backoff
+		// and retry. Overload still counts against the breaker — the
+		// point of the breaker is to stop hammering a drowning server.
+		r.overloaded.Add(1)
+		return true, false, false
+	case transport.CodeDeadline:
+		if ctx.Err() != nil {
+			// The caller's own deadline expired: done, no retry.
+			return false, true, false
+		}
+		// The per-attempt timeout fired; the conn may hold a half-read
+		// frame, so reconnect and retry within the caller's budget.
+		return true, true, false
+	case transport.CodeCanceled:
+		return false, true, false
+	default:
+		// A definitive server answer (bad_request, parse_error,
+		// exec_error, unavailable, unknown_op, protocol_mismatch,
+		// internal): not retryable, connection healthy.
+		return false, false, true
+	}
+}
+
+// ClientStats snapshots the client's local resilience counters.
+func (r *RemoteGrid) ClientStats() ClientStats {
+	st := ClientStats{
+		Calls:        r.calls.Load(),
+		Retries:      r.retries.Load(),
+		Reconnects:   r.reconnects.Load(),
+		Overloaded:   r.overloaded.Load(),
+		BreakerState: BreakerDisabled,
+	}
+	if r.br != nil {
+		st.BreakerState, st.BreakerOpens = r.br.snapshot()
+	}
+	return st
 }
 
 // Subscribe opens a typed event stream for sub on the remote grid, over
@@ -41,12 +381,19 @@ func Dial(addr string) (*RemoteGrid, error) {
 // and drops on the serving side are merged into this stream's drop
 // accounting.
 //
+// Subscribe is deliberately outside the retry machinery: a replayed
+// subscribe is not idempotent (the server acks and begins delivery —
+// blind replay could double-deliver), so a failed stream surfaces as
+// the stream's terminal error and re-subscribing is the consumer's
+// decision. DialOptions.WrapConn does apply to the dedicated
+// connection, so chaos tests can fault streams too.
+//
 // Cancelling ctx (or calling Stream.Close) sends a cancel frame; the
 // server detaches the subscription's sources and confirms with an end
 // frame, after which Next drains the buffer and returns the terminal
 // error. A failed connection surfaces as the stream's terminal error.
 func (r *RemoteGrid) Subscribe(ctx context.Context, sub Subscription) (*Stream, error) {
-	client, err := transport.DialContext(ctx, r.addr)
+	client, err := r.dialClient(ctx)
 	if err != nil {
 		return nil, transport.AsError(err)
 	}
@@ -133,11 +480,12 @@ func (r *RemoteGrid) Subscribe(ctx context.Context, sub Subscription) (*Stream, 
 
 // Query answers q on the remote grid. The context deadline, when set,
 // is propagated to the server and bounds the socket I/O; failures carry
-// the same structured codes as in-process queries (see CodeOf).
+// the same structured codes as in-process queries (see CodeOf). Elapsed
+// measures the full round trip, retries included.
 func (r *RemoteGrid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 	start := time.Now()
 	var rs ResultSet
-	if err := r.client.CallV2(ctx, "grid.query", q, &rs); err != nil {
+	if err := r.call(ctx, "grid.query", q, &rs); err != nil {
 		return nil, err
 	}
 	rs.Elapsed = time.Since(start)
@@ -147,7 +495,7 @@ func (r *RemoteGrid) Query(ctx context.Context, q Query) (*ResultSet, error) {
 // Hosts lists the remote grid's monitored hosts.
 func (r *RemoteGrid) Hosts(ctx context.Context) ([]string, error) {
 	var hl HostList
-	if err := r.client.CallV2(ctx, "grid.hosts", nil, &hl); err != nil {
+	if err := r.call(ctx, "grid.hosts", nil, &hl); err != nil {
 		return nil, err
 	}
 	return hl.Hosts, nil
@@ -156,7 +504,7 @@ func (r *RemoteGrid) Hosts(ctx context.Context) ([]string, error) {
 // Systems lists the remote grid's deployed systems.
 func (r *RemoteGrid) Systems(ctx context.Context) ([]System, error) {
 	var sl SystemList
-	if err := r.client.CallV2(ctx, "grid.systems", nil, &sl); err != nil {
+	if err := r.call(ctx, "grid.systems", nil, &sl); err != nil {
 		return nil, err
 	}
 	return sl.Systems, nil
@@ -165,11 +513,31 @@ func (r *RemoteGrid) Systems(ctx context.Context) ([]System, error) {
 // Ops lists every operation the remote server answers.
 func (r *RemoteGrid) Ops(ctx context.Context) ([]string, error) {
 	var ol transport.OpsList
-	if err := r.client.CallV2(ctx, "ops.list", nil, &ol); err != nil {
+	if err := r.call(ctx, "ops.list", nil, &ol); err != nil {
 		return nil, err
 	}
 	return ol.Ops, nil
 }
 
-// Close closes the connection.
-func (r *RemoteGrid) Close() error { return r.client.Close() }
+// Stats fetches the serving grid's counters over the ops.stats op — the
+// remote form of Grid.Stats.
+func (r *RemoteGrid) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	if err := r.call(ctx, "ops.stats", nil, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// Close closes the shared request/response connection (dedicated
+// subscribe connections close with their streams).
+func (r *RemoteGrid) Close() error {
+	r.connMu.Lock()
+	c := r.client
+	r.client = nil
+	r.connMu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}

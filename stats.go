@@ -1,0 +1,29 @@
+package gridmon
+
+import (
+	"context"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// Stats is a point-in-time snapshot of the grid's serving counters —
+// queries answered, failures, admission sheds and queue transits, the
+// current queue depth and in-flight count, and the query cache's
+// hit/miss totals. It is the first slice of ROADMAP item 4's live
+// metrics endpoint: Grid.Stats reads it in-process, the ops.stats
+// transport op serves it to remote clients (RemoteGrid.Stats,
+// `gridmon-query -o json ops.stats`).
+type Stats = metrics.ServeStats
+
+// Stats snapshots the grid's serving counters. Each counter is
+// individually atomic; the snapshot is not a cross-counter transaction,
+// which is what monitoring needs and all it promises.
+func (g *Grid) Stats() Stats { return g.counters.Snapshot() }
+
+// serveStats registers the ops.stats introspection op.
+func (g *Grid) serveStats(srv *transport.Server) {
+	transport.Handle(srv, "ops.stats", func(context.Context, struct{}) (Stats, error) {
+		return g.Stats(), nil
+	})
+}
