@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet lint build test race stress recovery chaos load-smoke bench bench-json bench-compare
+.PHONY: all ci fmt vet lint build test race stress recovery chaos fed-chaos load-smoke bench bench-json bench-compare
 
 all: ci
 
@@ -54,6 +54,16 @@ recovery:
 # server-close-under-load, and the client-side server-restart drill.
 chaos:
 	$(GO) test -race -count=3 -run 'Chaos|Breaker|Backoff|Admission|Overload|Shed|ServerClose|SurvivesServerRestart' . ./internal/transport
+
+# fed-chaos re-runs the federation gates hard under the race detector:
+# the differential suite (federated answers bit-identical to the
+# in-process oracle, and to a single grid up to the pinned federation
+# tax) and the federation chaos suite (leaf death, stalled branches,
+# mid-frame partitions, breaker-marked branches, churn recovery,
+# replica failover, stream partitions — typed error or correct partial
+# result, inside the carved budget, never a hang).
+fed-chaos:
+	$(GO) test -race -count=3 ./internal/federation
 
 # load-smoke proves the closed-loop load generator end to end: an
 # in-process server, two users, one second — enough to catch rot without

@@ -6,8 +6,28 @@
 //
 // Usage:
 //
-//	gridmon-live [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7] [-advance 5s] [-data DIR]
-//	             [-admit-max N] [-admit-queue N] [-admit-timeout D]
+//	gridmon-live [-role grid|leaf|giis] [-addr 127.0.0.1:7946] [-hosts lucky3,lucky4,lucky7]
+//	             [-advance 5s] [-data DIR] [-admit-max N] [-admit-queue N] [-admit-timeout D]
+//	             [-shards a:7001/b:7001,c:7002] [-shard-index N] [-policy best-effort|fail-fast]
+//	             [-fanout N] [-branch-timeout D] [-retries N] [-attempt-timeout D] [-breaker N,COOLDOWN]
+//
+// Roles — the paper's tree, one process per node:
+//
+//	grid   (default) one self-contained grid serving every op below.
+//	leaf   a lower-level node: the same grid server, but when -shards and
+//	       -shard-index are given the leaf monitors only its shard of the
+//	       -hosts universe (the slice federation.ShardMap assigns it), so N
+//	       leaves started with the same -hosts and -shards cover the
+//	       universe exactly once.
+//	giis   the upper-level aggregator: no grid of its own — it answers
+//	       grid.query / grid.subscribe / grid.hosts / grid.systems by
+//	       scatter-gather over the leaf addresses in -shards (commas
+//	       separate shards, slashes separate a shard's replicas), plus
+//	       fed.stats for federation counters. -policy picks what a failed
+//	       branch means (partial answers vs fail-fast), -fanout bounds
+//	       concurrent branches, -branch-timeout caps each branch, and
+//	       -retries / -attempt-timeout / -breaker configure the resilient
+//	       clients the aggregator keeps per leaf address.
 //
 // Operations served (ops.list reports the full namespace):
 //
@@ -52,15 +72,18 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	gridmon "repro"
+	"repro/internal/federation"
 	"repro/internal/transport"
 )
 
 func main() {
+	role := flag.String("role", "grid", "grid | leaf (shard of -hosts) | giis (aggregator over -shards)")
 	addr := flag.String("addr", "127.0.0.1:7946", "listen address")
 	hostList := flag.String("hosts", "lucky3,lucky4,lucky5,lucky6,lucky7", "monitored host names")
 	producers := flag.Int("producers", 3, "R-GMA producers per host")
@@ -69,11 +92,43 @@ func main() {
 	admitMax := flag.Int("admit-max", 0, "admission control: max concurrent queries (0 = unlimited)")
 	admitQueue := flag.Int("admit-queue", 16, "admission control: max queued queries past -admit-max")
 	admitTimeout := flag.Duration("admit-timeout", 100*time.Millisecond, "admission control: max wait in the queue")
+	shards := flag.String("shards", "", "shard map: shards comma-separated, replica addresses slash-separated")
+	shardIndex := flag.Int("shard-index", -1, "leaf: monitor shard N of -hosts under -shards (-1: all hosts)")
+	policy := flag.String("policy", "", "giis: best-effort (default) or fail-fast")
+	fanout := flag.Int("fanout", 0, "giis: max concurrent branches per broad query (0: default)")
+	branchTimeout := flag.Duration("branch-timeout", 0, "giis: per-branch deadline cap (0: caller's budget only)")
+	retries := flag.Int("retries", 0, "giis: retries per backend call")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "giis: per-attempt timeout per backend call")
+	breaker := flag.String("breaker", "", "giis: backend circuit breaker as THRESHOLD[,COOLDOWN] (empty: federation default)")
 	flag.Parse()
 	if *advance <= 0 {
 		log.Fatalf("-advance %v: the monitoring-round interval must be positive", *advance)
 	}
 	hosts := strings.Split(*hostList, ",")
+
+	if *role == "giis" {
+		runGIIS(*addr, *shards, *policy, *fanout, *branchTimeout, *retries, *attemptTimeout, *breaker)
+		return
+	}
+	if *role != "grid" && *role != "leaf" {
+		log.Fatalf("-role %q: want grid, leaf or giis", *role)
+	}
+	if *shardIndex >= 0 {
+		if *role != "leaf" {
+			log.Fatalf("-shard-index needs -role leaf")
+		}
+		m, err := federation.ParseShardMap(*shards)
+		if err != nil {
+			log.Fatalf("-shards: %v", err)
+		}
+		if *shardIndex >= len(m.Shards) {
+			log.Fatalf("-shard-index %d: the map has %d shard(s)", *shardIndex, len(m.Shards))
+		}
+		hosts = m.PartitionHosts(hosts)[*shardIndex]
+		if len(hosts) == 0 {
+			log.Fatalf("shard %d of %q owns none of the %d host(s)", *shardIndex, *shards, len(strings.Split(*hostList, ",")))
+		}
+	}
 
 	opts := []gridmon.Option{
 		gridmon.WithHosts(hosts...),
@@ -120,4 +175,77 @@ func main() {
 	if err := grid.Close(); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+}
+
+// runGIIS serves the federation aggregator: no grid of its own, just
+// the Router scatter-gathering the -shards leaves.
+func runGIIS(addr, shards, policy string, fanout int, branchTimeout time.Duration,
+	retries int, attemptTimeout time.Duration, breaker string) {
+	if shards == "" {
+		log.Fatal("-role giis needs -shards (the leaf addresses to aggregate)")
+	}
+	m, err := federation.ParseShardMap(shards)
+	if err != nil {
+		log.Fatalf("-shards: %v", err)
+	}
+	pol, err := federation.ParsePolicy(policy)
+	if err != nil {
+		log.Fatalf("-policy: %v", err)
+	}
+	br, err := parseBreakerFlag(breaker)
+	if err != nil {
+		log.Fatalf("-breaker: %v", err)
+	}
+	router, err := federation.New(federation.Config{
+		Map:           m,
+		Policy:        pol,
+		MaxFanout:     fanout,
+		BranchTimeout: branchTimeout,
+		Dial: gridmon.DialOptions{
+			MaxRetries:     retries,
+			AttemptTimeout: attemptTimeout,
+			Breaker:        br,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := transport.NewServer()
+	router.Serve(srv)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gridmon-live GIIS aggregating %d shard(s) (%s) on %s\n", len(m.Shards), pol, bound)
+	fmt.Printf("ops: %s\n", strings.Join(srv.Ops(), " "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	router.Close()
+}
+
+// parseBreakerFlag parses THRESHOLD[,COOLDOWN] ("5" or "5,2s"). Empty
+// keeps the federation default breaker.
+func parseBreakerFlag(s string) (gridmon.Breaker, error) {
+	if s == "" {
+		return gridmon.Breaker{}, nil
+	}
+	threshold, cooldown, hasCooldown := strings.Cut(s, ",")
+	var br gridmon.Breaker
+	n, err := strconv.Atoi(strings.TrimSpace(threshold))
+	if err != nil {
+		return br, fmt.Errorf("threshold %q: %v", threshold, err)
+	}
+	br.Threshold = n
+	if hasCooldown {
+		d, err := time.ParseDuration(strings.TrimSpace(cooldown))
+		if err != nil {
+			return br, fmt.Errorf("cooldown %q: %v", cooldown, err)
+		}
+		br.Cooldown = d
+	}
+	return br, nil
 }

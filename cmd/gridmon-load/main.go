@@ -11,7 +11,7 @@
 //	             [-expr e] [-attrs a,b] [-o table|json] [-max-error-rate 0]
 //	             [-hosts lucky3,...] [-producers 3] [-advance 1s] [-cache 0]
 //	             [-data DIR] [-admit-max 0] [-admit-queue 16] [-admit-timeout 100ms]
-//	             [-scenario restart|overload]
+//	             [-scenario restart|overload|churn] [-fed-shards 3]
 //	             [-cpuprofile f] [-memprofile f]
 //
 // With no -addr the tool serves itself: it builds an in-process grid
@@ -40,8 +40,8 @@
 // non-zero when any level's error rate exceeds -max-error-rate (default
 // 0: any transport error fails the run).
 //
-// Two fault scenarios replace the level sweep when -scenario is set,
-// both emitting JSON:
+// Three fault scenarios replace the level sweep when -scenario is set,
+// each emitting JSON:
 //
 //	-scenario restart   self-serve only, requires -data: kill the server
 //	                    (listener, connections, and grid — no goodbye
@@ -54,6 +54,13 @@
 //	                    accepted latency, shed rate and throughput. Pair
 //	                    with -admit-max to watch the gate hold the tail,
 //	                    or without it to watch latency collapse.
+//	-scenario churn     self-serve only: shard -hosts over -fed-shards
+//	                    leaf grids behind a federation aggregator, kill
+//	                    one leaf mid-run and restart it, and report the
+//	                    degraded-window length (kill to the first
+//	                    complete answer after the restart) and the
+//	                    partial-result rate clients saw. Fails when the
+//	                    federation never heals.
 package main
 
 import (
@@ -100,7 +107,8 @@ func run() int {
 	admitMax := flag.Int("admit-max", 0, "self-serve: admission control max concurrent queries (0 = unlimited)")
 	admitQueue := flag.Int("admit-queue", 16, "self-serve: admission control queue bound")
 	admitTimeout := flag.Duration("admit-timeout", 100*time.Millisecond, "self-serve: admission control queue timeout")
-	scenario := flag.String("scenario", "", "run a fault scenario instead of the level sweep: restart or overload")
+	scenario := flag.String("scenario", "", "run a fault scenario instead of the level sweep: restart, overload or churn")
+	fedShards := flag.Int("fed-shards", 3, "churn: number of leaf grids the -hosts universe is sharded over")
 	maxErrRate := flag.Float64("max-error-rate", 0,
 		"exit non-zero when a level's transport-error rate exceeds this fraction (sheds excluded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the client loop to this file")
@@ -118,14 +126,39 @@ func run() int {
 	}
 
 	switch *scenario {
-	case "", "restart", "overload":
+	case "", "restart", "overload", "churn":
 	default:
-		log.Printf("bad -scenario %q (want restart or overload)", *scenario)
+		log.Printf("bad -scenario %q (want restart, overload or churn)", *scenario)
 		return 1
 	}
 	if *scenario == "restart" && (*addr != "" || *dataDir == "") {
 		log.Print("-scenario restart needs a self-served durable grid: leave -addr empty and set -data")
 		return 1
+	}
+	if *scenario == "churn" {
+		if *addr != "" {
+			log.Print("-scenario churn builds its own federation: leave -addr empty")
+			return 1
+		}
+		cfg := selfConfig{
+			hosts:        strings.Split(*hostsList, ","),
+			producers:    *producers,
+			advance:      *advance,
+			cacheTTL:     *cacheTTL,
+			admitMax:     *admitMax,
+			admitQueue:   *admitQueue,
+			admitTimeout: *admitTimeout,
+		}
+		q := gridmon.Query{
+			System: gridmon.System(*system),
+			Role:   parseRole(*role),
+			Host:   *host,
+			Expr:   *expr,
+		}
+		if *attrs != "" {
+			q.Attrs = strings.Split(*attrs, ",")
+		}
+		return runChurnScenario(cfg, q, levels[0], *fedShards, *duration, *think)
 	}
 
 	target := *addr
@@ -255,8 +288,11 @@ type levelResult struct {
 	// Errors counts transport/server failures; Shed counts admission
 	// refusals (the overloaded code) — the server protecting itself, not
 	// failing. ShedP99MS is how long a refusal took to arrive.
-	Errors     int     `json:"errors"`
-	Shed       int     `json:"shed"`
+	Errors int `json:"errors"`
+	Shed   int `json:"shed"`
+	// Partials counts successes that came back with ResultSet.Partial —
+	// a federation aggregator answering from surviving shards only.
+	Partials   int     `json:"partials,omitempty"`
 	Throughput float64 `json:"throughput_qps"`
 	MeanMS     float64 `json:"mean_ms"`
 	P50MS      float64 `json:"p50_ms"`
@@ -272,6 +308,7 @@ type userStats struct {
 	latencies []time.Duration
 	shedLats  []time.Duration
 	errors    int
+	partials  int
 	hits      int
 	misses    int
 }
@@ -281,15 +318,17 @@ type userStats struct {
 // for the duration.
 func runLevel(addr string, q gridmon.Query, hosts []string, users int,
 	duration, think time.Duration, dial gridmon.DialOptions) (levelResult, error) {
-	return runLevelObserved(addr, q, hosts, users, duration, think, dial, func(_, _ time.Time) {})
+	return runLevelObserved(addr, q, hosts, users, duration, think, dial,
+		func(_, _ time.Time, _ *gridmon.ResultSet) {})
 }
 
 // runLevelObserved is runLevel with a completion hook: observe is called
-// with each successful query's start and completion times (the restart
-// scenario uses it to spot the first success begun after the kill).
+// with each successful query's start and completion times and its
+// result (the restart scenario spots the first success begun after the
+// kill; the churn scenario additionally watches ResultSet.Partial).
 func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
 	duration, think time.Duration, dial gridmon.DialOptions,
-	observe func(start, done time.Time)) (levelResult, error) {
+	observe func(start, done time.Time, rs *gridmon.ResultSet)) (levelResult, error) {
 	// Dial every user before the window opens so slow connects don't
 	// eat into the measurement.
 	conns := make([]*gridmon.RemoteGrid, users)
@@ -331,8 +370,11 @@ func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
 					continue
 				}
 				done := time.Now()
-				observe(t0, done)
+				observe(t0, done, rs)
 				st.latencies = append(st.latencies, done.Sub(t0))
+				if rs.Partial {
+					st.partials++
+				}
 				st.hits += rs.Work.CacheHits
 				st.misses += rs.Work.CacheMisses
 				if think > 0 {
@@ -354,6 +396,7 @@ func mergeStats(users int, stats []userStats, elapsed time.Duration) levelResult
 		all = append(all, st.latencies...)
 		shed = append(shed, st.shedLats...)
 		res.Errors += st.errors
+		res.Partials += st.partials
 		hits += st.hits
 		misses += st.misses
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	gridmon "repro"
+	"repro/internal/federation"
 )
 
 // The fault scenarios: deliberately break the serving side mid-run and
@@ -93,7 +94,7 @@ func runRestartScenario(self *selfServer, q gridmon.Query, hosts []string,
 	// The workers run straight through the outage; the first success
 	// whose REQUEST began after the kill marks client-observed recovery.
 	res, err := runLevelObserved(self.addr, q, hosts, users, duration, think, dial,
-		func(began, done time.Time) {
+		func(began, done time.Time, _ *gridmon.ResultSet) {
 			killed := killedAtNS.Load()
 			if killed == 0 || began.UnixNano() < killed {
 				return
@@ -134,6 +135,191 @@ func runRestartScenario(self *selfServer, q gridmon.Query, hosts []string,
 		return 1
 	}
 	rep.RecoveryGapMS = ms(time.Unix(0, first).Sub(killedAt))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// churnReport is the -scenario churn JSON shape.
+type churnReport struct {
+	Scenario string `json:"scenario"` // "churn"
+	Shards   int    `json:"shards"`
+	Users    int    `json:"users"`
+	// KilledShard is the leaf taken down; KilledAfterMS when into the
+	// run; DownMS how long it stayed down before the restart.
+	KilledShard   int     `json:"killed_shard"`
+	KilledAfterMS float64 `json:"killed_after_ms"`
+	DownMS        float64 `json:"down_ms"`
+	// DegradedWindowMS is the client-observed degradation: from the
+	// kill to the completion of the first COMPLETE (non-partial)
+	// success whose request began after it. During that window the
+	// federation keeps answering — partially.
+	DegradedWindowMS float64 `json:"degraded_window_ms"`
+	// PartialRate is partial successes over all successes for the whole
+	// run — how much of the run the callers saw a degraded answer.
+	PartialRate float64     `json:"partial_rate"`
+	Level       levelResult `json:"level"`
+	// Fed is the aggregator's own view: queries, partials, degraded
+	// failures, per-branch failures, and every backend's breaker state.
+	Fed federation.Stats `json:"fed"`
+}
+
+// runChurnScenario shards the -hosts universe over -fed-shards leaf
+// grids, aggregates them behind a federation Router served on
+// loopback, and drives `users` clients through the aggregator while
+// one leaf is killed a third into the window and restarted a sixth of
+// a window later. The federation's promise under churn is graceful
+// degradation, so the gate is double: clients must keep getting
+// answers during the outage (partial ones), and complete answers must
+// resume after the restart — the run fails if the degraded window
+// never closes.
+func runChurnScenario(cfg selfConfig, q gridmon.Query, users, shards int,
+	duration, think time.Duration) int {
+	if shards < 2 {
+		log.Printf("-fed-shards %d: churn needs at least 2 leaves (one must survive)", shards)
+		return 1
+	}
+	if duration < 300*time.Millisecond {
+		log.Printf("-duration %v is too short to fit an outage; use >= 300ms", duration)
+		return 1
+	}
+	// A host-targeted query routes to one shard and fails outright when
+	// that shard is down; degradation is a broad-query behavior, so the
+	// default info-server shape is promoted to the aggregate role.
+	if needsHost(q) && q.Host == "" {
+		q.Role = gridmon.RoleAggregateServer
+		fmt.Fprintf(os.Stderr, "scenario churn: using the %s aggregate role (broad queries degrade; host-targeted ones fail over only with replicas)\n", q.System)
+	}
+
+	m := federation.ShardMap{Epoch: 1, Shards: make([]federation.Shard, shards)}
+	parts := m.PartitionHosts(cfg.hosts)
+	leaves := make([]*selfServer, shards)
+	addrs := make([]string, shards)
+	for i := range leaves {
+		if len(parts[i]) == 0 {
+			log.Printf("shard %d owns none of the %d host(s); add hosts or lower -fed-shards", i, len(cfg.hosts))
+			return 1
+		}
+		lcfg := cfg
+		lcfg.hosts = parts[i]
+		leaf, err := startSelfServer(lcfg, "127.0.0.1:0")
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer leaf.stop()
+		leaves[i] = leaf
+		addrs[i] = leaf.addr
+	}
+
+	// Short breaker cooldown so recovery is probed quickly after the
+	// restart; the branch timeout keeps the dead leaf from dragging
+	// every broad query to its dial timeout.
+	router, err := federation.New(federation.Config{
+		Map:           federation.NewShardMap(addrs...),
+		BranchTimeout: 2 * time.Second,
+		Dial: gridmon.DialOptions{
+			AttemptTimeout: time.Second,
+			Breaker:        gridmon.Breaker{Threshold: 2, Cooldown: 200 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer router.Close()
+	fsrv := gridmon.NewTransportServer()
+	router.Serve(fsrv)
+	fedAddr, err := fsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer fsrv.Close()
+	fmt.Fprintf(os.Stderr, "scenario churn: %d leaves behind aggregator %s\n", shards, fedAddr)
+
+	victim := shards - 1
+	killAfter := duration / 3
+	downFor := duration / 6
+	var killedAtNS atomic.Int64
+	var restartDoneNS atomic.Int64
+	var firstFull atomic.Int64 // UnixNano of the first post-kill complete success
+	var fault sync.WaitGroup
+	fault.Add(1)
+	start := time.Now()
+	go func() {
+		defer fault.Done()
+		time.Sleep(killAfter)
+		leaves[victim].kill()
+		killedAt := time.Now()
+		killedAtNS.Store(killedAt.UnixNano())
+		fmt.Fprintf(os.Stderr, "scenario churn: leaf %d killed %.0fms in\n", victim, ms(killedAt.Sub(start)))
+		time.Sleep(downFor)
+		if err := leaves[victim].restart(); err != nil {
+			log.Printf("scenario churn: leaf %d restart failed: %v", victim, err)
+			return
+		}
+		restartDoneNS.Store(time.Now().UnixNano())
+		fmt.Fprintf(os.Stderr, "scenario churn: leaf %d back on %s after %.0fms down\n",
+			victim, leaves[victim].addr, ms(time.Since(killedAt)))
+	}()
+
+	dial := gridmon.DialOptions{
+		AttemptTimeout: 5 * time.Second,
+		MaxRetries:     2,
+		Backoff:        gridmon.Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+	}
+	res, err := runLevelObserved(fedAddr, q, nil, users, duration, think, dial,
+		func(began, done time.Time, rs *gridmon.ResultSet) {
+			killed := killedAtNS.Load()
+			if killed == 0 || began.UnixNano() < killed || rs.Partial {
+				return
+			}
+			ns := done.UnixNano()
+			for {
+				cur := firstFull.Load()
+				if cur != 0 && cur <= ns {
+					return
+				}
+				if firstFull.CompareAndSwap(cur, ns) {
+					return
+				}
+			}
+		})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	fault.Wait()
+	if restartDoneNS.Load() == 0 {
+		log.Print("scenario churn: the killed leaf never came back")
+		return 1
+	}
+
+	killedAt := time.Unix(0, killedAtNS.Load())
+	rep := churnReport{
+		Scenario:      "churn",
+		Shards:        shards,
+		Users:         users,
+		KilledShard:   victim,
+		KilledAfterMS: ms(killedAt.Sub(start)),
+		DownMS:        ms(time.Unix(0, restartDoneNS.Load()).Sub(killedAt)),
+		Level:         res,
+		Fed:           router.Stats(),
+	}
+	if res.Queries > 0 {
+		rep.PartialRate = float64(res.Partials) / float64(res.Queries)
+	}
+	first := firstFull.Load()
+	if first == 0 {
+		log.Print("scenario churn: no complete answer after the restart — the federation never healed")
+		return 1
+	}
+	rep.DegradedWindowMS = ms(time.Unix(0, first).Sub(killedAt))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

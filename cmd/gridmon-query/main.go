@@ -6,12 +6,14 @@
 // Usage:
 //
 //	gridmon-query [-addr 127.0.0.1:7946] [-timeout 10s] [-o table|json]
+//	              [-retries N] [-attempt-timeout D] [-breaker N,COOLDOWN]
 //	              [-watch] [-interval 5s] <op> [key=value ...]
 //
 // Examples:
 //
 //	gridmon-query ops.list
 //	gridmon-query -o json ops.stats
+//	gridmon-query -o json fed.stats
 //	gridmon-query grid.hosts
 //	gridmon-query grid.query system=MDS role='Aggregate Information Server' 'expr=(objectclass=MdsCpu)'
 //	gridmon-query -o json grid.query system=Hawkeye role='Aggregate Information Server' 'expr=TARGET.CpuLoad > 50'
@@ -33,10 +35,19 @@
 // line) per event, until interrupted. The server's -advance loop paces
 // delivery.
 //
+// The connection is the resilient client gridmon.DialWith builds:
+// -retries re-issues a failed idempotent call that many extra times
+// (reconnecting first when the connection died), -attempt-timeout
+// bounds each individual attempt, and -breaker N,COOLDOWN arms a
+// circuit breaker that fails fast after N consecutive failures until
+// COOLDOWN passes. All three default off, preserving the old
+// single-attempt behavior.
+//
 // Exit status: 0 on success; on a server error, a status derived from
 // the structured code — 2 for bad_request/parse_error/unknown_op (an
 // unknown op also prints the server's registered ops), 3 for
-// unavailable, 4 for deadline_exceeded, 1 otherwise.
+// unavailable, 4 for deadline_exceeded, 5 for degraded (a federation
+// aggregator that could not assemble any answer), 1 otherwise.
 package main
 
 import (
@@ -47,10 +58,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
 	gridmon "repro"
+	"repro/internal/federation"
 	"repro/internal/liveops"
 	"repro/internal/transport"
 )
@@ -61,6 +74,9 @@ func main() {
 	output := flag.String("o", "table", "output format for typed ops: table or json")
 	watch := flag.Bool("watch", false, "subscribe to grid.query params and stream events")
 	interval := flag.Duration("interval", 5*time.Second, "watch: MDS poll cadence in grid-clock seconds")
+	retries := flag.Int("retries", 0, "retries per failed idempotent call (0 = single attempt)")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout within -timeout (0 = none)")
+	breaker := flag.String("breaker", "", "circuit breaker as THRESHOLD[,COOLDOWN], e.g. 3,1s (empty = off)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -83,20 +99,31 @@ func main() {
 		params[kv[:eq]] = kv[eq+1:]
 	}
 
+	br, err := parseBreakerFlag(*breaker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -breaker %q: %v\n", *breaker, err)
+		os.Exit(2)
+	}
+	dialOpts := gridmon.DialOptions{
+		MaxRetries:     *retries,
+		AttemptTimeout: *attemptTimeout,
+		Breaker:        br,
+	}
+
 	if *watch {
 		if op != "grid.query" {
 			fmt.Fprintf(os.Stderr, "-watch applies to grid.query, not %q\n", op)
 			os.Exit(2)
 		}
-		os.Exit(watchLoop(*addr, params, *interval, *timeout, *output))
+		os.Exit(watchLoop(*addr, dialOpts, params, *interval, *timeout, *output))
 	}
 
-	client, err := transport.Dial(*addr)
+	remote, err := gridmon.DialWith(*addr, dialOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer client.Close()
+	defer remote.Close()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -105,12 +132,12 @@ func main() {
 		defer cancel()
 	}
 
-	payload, err := call(ctx, client, op, params, *output)
+	payload, err := call(ctx, remote, op, params, *output)
 	if err != nil {
 		e := transport.AsError(err)
 		fmt.Fprintf(os.Stderr, "error [%s]: %s\n", e.Code, e.Message)
 		if e.Code == transport.CodeUnknownOp {
-			printOps(ctx, client)
+			printOps(ctx, remote)
 		}
 		os.Exit(exitStatus(e.Code))
 	}
@@ -139,7 +166,7 @@ func subscription(params map[string]string, interval time.Duration) gridmon.Subs
 // the process exit status. The -timeout bounds the dial and subscribe
 // handshake (the stream itself is unbounded: it runs until
 // interrupted).
-func watchLoop(addr string, params map[string]string, interval, timeout time.Duration, output string) int {
+func watchLoop(addr string, dialOpts gridmon.DialOptions, params map[string]string, interval, timeout time.Duration, output string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	// Bound the dial + subscribe handshake without bounding the stream:
@@ -153,7 +180,7 @@ func watchLoop(addr string, params map[string]string, interval, timeout time.Dur
 	}
 	handshake := make(chan opened, 1)
 	go func() {
-		remote, err := gridmon.Dial(addr)
+		remote, err := gridmon.DialWith(addr, dialOpts)
 		if err != nil {
 			handshake <- opened{err: err}
 			return
@@ -226,7 +253,7 @@ func printEvent(ev gridmon.Event, output string) {
 // call invokes one op over the typed v2 protocol. The typed ops
 // (ops.list, grid.*) get their own request/response shapes — rendered as
 // text or, with -o json, as JSON; everything else is a param-based op.
-func call(ctx context.Context, client *transport.Client, op string, params map[string]string, output string) (string, error) {
+func call(ctx context.Context, remote *gridmon.RemoteGrid, op string, params map[string]string, output string) (string, error) {
 	asJSON := func(v interface{}) (string, error) {
 		b, err := json.Marshal(v)
 		if err != nil {
@@ -237,7 +264,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 	switch op {
 	case "ops.list":
 		var ol transport.OpsList
-		if err := client.CallV2(ctx, op, nil, &ol); err != nil {
+		if err := remote.Call(ctx, op, nil, &ol); err != nil {
 			return "", err
 		}
 		if output == "json" {
@@ -246,7 +273,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		return strings.Join(ol.Ops, "\n"), nil
 	case "grid.hosts":
 		var hl gridmon.HostList
-		if err := client.CallV2(ctx, op, nil, &hl); err != nil {
+		if err := remote.Call(ctx, op, nil, &hl); err != nil {
 			return "", err
 		}
 		if output == "json" {
@@ -255,7 +282,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		return strings.Join(hl.Hosts, "\n"), nil
 	case "grid.systems":
 		var sl gridmon.SystemList
-		if err := client.CallV2(ctx, op, nil, &sl); err != nil {
+		if err := remote.Call(ctx, op, nil, &sl); err != nil {
 			return "", err
 		}
 		if output == "json" {
@@ -268,7 +295,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		return strings.Join(parts, "\n"), nil
 	case "ops.stats":
 		var st gridmon.Stats
-		if err := client.CallV2(ctx, op, nil, &st); err != nil {
+		if err := remote.Call(ctx, op, nil, &st); err != nil {
 			return "", err
 		}
 		if output == "json" {
@@ -277,6 +304,22 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		return fmt.Sprintf(
 			"queries      %d\nerrors       %d\nshed         %d\nqueued       %d\nqueue_depth  %d\nin_flight    %d\ncache_hits   %d\ncache_misses %d",
 			st.Queries, st.Errors, st.Shed, st.Queued, st.QueueDepth, st.InFlight, st.CacheHits, st.CacheMisses), nil
+	case "fed.stats":
+		var fs federation.Stats
+		if err := remote.Call(ctx, op, nil, &fs); err != nil {
+			return "", err
+		}
+		if output == "json" {
+			return asJSON(fs)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "epoch           %d\nshards          %d\npolicy          %s\nqueries         %d\npartials        %d\ndegraded        %d\nbranch_failures %d",
+			fs.Epoch, fs.Shards, fs.Policy, fs.Queries, fs.Partials, fs.Degraded, fs.BranchFailures)
+		for _, be := range fs.Backends {
+			fmt.Fprintf(&b, "\nshard %d %s: breaker=%s calls=%d retries=%d reconnects=%d breaker_opens=%d",
+				be.Shard, be.Addr, be.Client.BreakerState, be.Client.Calls, be.Client.Retries, be.Client.Reconnects, be.Client.BreakerOpens)
+		}
+		return b.String(), nil
 	case "grid.query":
 		q := gridmon.Query{
 			System: gridmon.System(params["system"]),
@@ -288,7 +331,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 			q.Attrs = strings.Split(a, ",")
 		}
 		var rs gridmon.ResultSet
-		if err := client.CallV2(ctx, op, q, &rs); err != nil {
+		if err := remote.Call(ctx, op, q, &rs); err != nil {
 			return "", err
 		}
 		if output == "json" {
@@ -297,7 +340,7 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 		return rs.String(), nil
 	}
 	var resp liveops.OpResponse
-	if err := client.CallV2(ctx, op, liveops.OpRequest{Params: params}, &resp); err != nil {
+	if err := remote.Call(ctx, op, liveops.OpRequest{Params: params}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Payload, nil
@@ -305,9 +348,9 @@ func call(ctx context.Context, client *transport.Client, op string, params map[s
 
 // printOps asks the server for its registered op names, so an unknown-op
 // failure doubles as usage help.
-func printOps(ctx context.Context, client *transport.Client) {
+func printOps(ctx context.Context, remote *gridmon.RemoteGrid) {
 	var ol transport.OpsList
-	if err := client.CallV2(ctx, "ops.list", nil, &ol); err != nil {
+	if err := remote.Call(ctx, "ops.list", nil, &ol); err != nil {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "ops served by this server:\n")
@@ -325,7 +368,32 @@ func exitStatus(code transport.Code) int {
 		return 3
 	case transport.CodeDeadline:
 		return 4
+	case transport.CodeDegraded:
+		return 5
 	default:
 		return 1
 	}
+}
+
+// parseBreakerFlag parses THRESHOLD[,COOLDOWN] ("5" or "5,2s"). Empty
+// leaves the breaker off.
+func parseBreakerFlag(s string) (gridmon.Breaker, error) {
+	if s == "" {
+		return gridmon.Breaker{}, nil
+	}
+	threshold, cooldown, hasCooldown := strings.Cut(s, ",")
+	var br gridmon.Breaker
+	n, err := strconv.Atoi(strings.TrimSpace(threshold))
+	if err != nil {
+		return br, fmt.Errorf("threshold %q: %v", threshold, err)
+	}
+	br.Threshold = n
+	if hasCooldown {
+		d, err := time.ParseDuration(strings.TrimSpace(cooldown))
+		if err != nil {
+			return br, fmt.Errorf("cooldown %q: %v", cooldown, err)
+		}
+		br.Cooldown = d
+	}
+	return br, nil
 }

@@ -46,3 +46,53 @@ func RootSuppressed(d *DB) int {
 	//gridmon:nolint ctxflow v1 compat shim, no deadline to propagate
 	return d.QueryCtx(context.Background(), "x")
 }
+
+// FanOutGood is the federation scatter-gather shape: every branch's
+// context derives from the caller's — WithTimeout and WithCancel keep
+// the chain intact, so cancelling the caller cancels every branch.
+func FanOutGood(ctx context.Context, backends []*DB) int {
+	total := 0
+	for _, d := range backends {
+		bctx, cancel := context.WithTimeout(ctx, 0)
+		total += d.QueryCtx(bctx, "x")
+		cancel()
+	}
+	return total
+}
+
+// FanOutDetached conjures a fresh root per branch: the branches
+// outlive the caller's cancellation.
+func FanOutDetached(ctx context.Context, backends []*DB) int {
+	total := 0
+	for _, d := range backends {
+		total += d.QueryCtx(context.Background(), "x") // want `context.Background in a library package`
+	}
+	return total
+}
+
+// FanOutUnthreaded holds the caller's ctx but fans out through the
+// ctx-free variant — every branch silently detaches from the deadline.
+func FanOutUnthreaded(ctx context.Context, backends []*DB) int {
+	total := 0
+	for _, d := range backends {
+		total += d.Query("x") // want `Query ignores the ctx in scope; call QueryCtx`
+	}
+	return total
+}
+
+// FanOutGoroutines derives per-branch contexts inside goroutines — the
+// bounded-concurrency scatter: still threaded, still clean.
+func FanOutGoroutines(ctx context.Context, backends []*DB) {
+	done := make(chan int, len(backends))
+	for _, d := range backends {
+		d := d
+		go func() {
+			bctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			done <- d.QueryCtx(bctx, "x")
+		}()
+	}
+	for range backends {
+		<-done
+	}
+}

@@ -1,0 +1,134 @@
+package federation_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/federation"
+)
+
+func TestParseShardMap(t *testing.T) {
+	m, err := federation.ParseShardMap("a:1/b:1,c:2, d:3 /e:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []federation.Shard{
+		{Addrs: []string{"a:1", "b:1"}},
+		{Addrs: []string{"c:2"}},
+		{Addrs: []string{"d:3", "e:3"}},
+	}
+	if m.Epoch != 1 || !reflect.DeepEqual(m.Shards, want) {
+		t.Errorf("got epoch=%d shards=%+v", m.Epoch, m.Shards)
+	}
+	for _, bad := range []string{"", "a,,b", "a//b", ",a"} {
+		if _, err := federation.ParseShardMap(bad); err == nil {
+			t.Errorf("ParseShardMap(%q): want error", bad)
+		}
+	}
+}
+
+func TestShardMapValidate(t *testing.T) {
+	if err := (federation.ShardMap{}).Validate(); err == nil {
+		t.Error("empty map validated")
+	}
+	m := federation.NewShardMap("a", "b")
+	if err := m.Validate(); err != nil {
+		t.Errorf("NewShardMap invalid: %v", err)
+	}
+	m.Shards[1].Addrs = nil
+	if err := m.Validate(); err == nil {
+		t.Error("shard with no addresses validated")
+	}
+}
+
+// TestShardForPartition: the hash is deterministic, every host lands
+// in range, and PartitionHosts agrees with ShardFor.
+func TestShardForPartition(t *testing.T) {
+	m := federation.NewShardMap("a", "b", "c")
+	hosts := []string{"node00", "node01", "node02", "node03", "node04", "node05"}
+	parts := m.PartitionHosts(hosts)
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	seen := 0
+	for i, part := range parts {
+		for _, h := range part {
+			seen++
+			if got := m.ShardFor(h); got != i {
+				t.Errorf("host %s partitioned to %d but ShardFor says %d", h, i, got)
+			}
+			if again := m.ShardFor(h); again != i {
+				t.Errorf("ShardFor(%s) not deterministic", h)
+			}
+		}
+	}
+	if seen != len(hosts) {
+		t.Errorf("partition covers %d of %d hosts", seen, len(hosts))
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]federation.Policy{
+		"":            federation.BestEffort,
+		"best-effort": federation.BestEffort,
+		"fail-fast":   federation.FailFast,
+	} {
+		got, err := federation.ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %q, %v; want %q", s, got, err, want)
+		}
+	}
+	if _, err := federation.ParsePolicy("yolo"); err == nil {
+		t.Error("ParsePolicy(yolo): want error")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := federation.New(federation.Config{}); err == nil {
+		t.Error("New without a map succeeded")
+	}
+	if _, err := federation.New(federation.Config{
+		Map:    federation.NewShardMap("a"),
+		Policy: federation.Policy("yolo"),
+	}); err == nil {
+		t.Error("New with an unknown policy succeeded")
+	}
+}
+
+// TestSetMapEpochGuard: only strictly newer epochs are accepted; the
+// published map is whatever was last accepted.
+func TestSetMapEpochGuard(t *testing.T) {
+	r, err := federation.New(federation.Config{Map: federation.NewShardMap("a:1", "b:1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stale := federation.NewShardMap("c:1") // epoch 1 — same as current
+	if err := r.SetMap(stale); err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Errorf("same-epoch swap: got %v, want epoch error", err)
+	}
+	if got := r.Map(); got.Epoch != 1 || len(got.Shards) != 2 {
+		t.Errorf("rejected swap changed the map: %+v", got)
+	}
+
+	next := federation.NewShardMap("c:1", "d:1", "e:1")
+	next.Epoch = 2
+	if err := r.SetMap(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Map(); got.Epoch != 2 || len(got.Shards) != 3 {
+		t.Errorf("accepted swap not published: %+v", got)
+	}
+	bad := federation.ShardMap{Epoch: 3}
+	if err := r.SetMap(bad); err == nil {
+		t.Error("invalid map accepted by SetMap")
+	}
+
+	// The stats snapshot follows the swap: new epoch, new backends.
+	st := r.Stats()
+	if st.Epoch != 2 || st.Shards != 3 || len(st.Backends) != 3 {
+		t.Errorf("stats after swap: %+v", st)
+	}
+}

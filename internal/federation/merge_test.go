@@ -1,0 +1,112 @@
+package federation_test
+
+import (
+	"reflect"
+	"testing"
+
+	gridmon "repro"
+	"repro/internal/federation"
+)
+
+// TestMergeWorkSumsEveryField is the reflection property test behind
+// the merge arithmetic: whatever fields core.Work grows, MergeWork
+// must sum every one of them. Each input field gets a distinct value,
+// so a field that is dropped, copied from only one side, or
+// double-counted produces a sum that cannot match. A field of a kind
+// the test cannot synthesize fails loudly — the signal to extend both
+// Work.Add and this test.
+func TestMergeWorkSumsEveryField(t *testing.T) {
+	var a, b gridmon.Work
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	typ := av.Type()
+	if typ.NumField() == 0 {
+		t.Fatal("Work has no fields — nothing to merge")
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		// Distinct, asymmetric values: field i gets (i+1)*3 on one side
+		// and (i+1)*7+1 on the other.
+		x, y := int64((i+1)*3), int64((i+1)*7+1)
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			av.Field(i).SetInt(x)
+			bv.Field(i).SetInt(y)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			av.Field(i).SetUint(uint64(x))
+			bv.Field(i).SetUint(uint64(y))
+		case reflect.Float32, reflect.Float64:
+			av.Field(i).SetFloat(float64(x))
+			bv.Field(i).SetFloat(float64(y))
+		default:
+			t.Fatalf("Work field %s has kind %s — teach Work.Add and this test about it", f.Name, f.Type.Kind())
+		}
+	}
+	got := federation.MergeWork(a, b)
+	gv := reflect.ValueOf(got)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		var sum, merged float64
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			sum = float64(av.Field(i).Int() + bv.Field(i).Int())
+			merged = float64(gv.Field(i).Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			sum = float64(av.Field(i).Uint() + bv.Field(i).Uint())
+			merged = float64(gv.Field(i).Uint())
+		case reflect.Float32, reflect.Float64:
+			sum = av.Field(i).Float() + bv.Field(i).Float()
+			merged = gv.Field(i).Float()
+		}
+		if merged != sum {
+			t.Errorf("Work.%s: merged %v, want the sum %v — Work.Add does not sum this field", f.Name, merged, sum)
+		}
+	}
+}
+
+// TestMergeResultSetsCanonicalOrder: records come back sorted by key,
+// stably (ties keep shard order), Work summed, Role defaulted.
+func TestMergeResultSetsCanonicalOrder(t *testing.T) {
+	rec := func(key, tag string) gridmon.Record {
+		return gridmon.Record{Key: key, Fields: map[string]string{"tag": tag}}
+	}
+	parts := []*gridmon.ResultSet{
+		{Records: []gridmon.Record{rec("b", "s0"), rec("a", "s0")}, Work: gridmon.Work{RecordsReturned: 2}},
+		{Records: []gridmon.Record{rec("a", "s1"), rec("c", "s1")}, Work: gridmon.Work{RecordsReturned: 2, ThreadSpawns: 1}},
+	}
+	q := gridmon.Query{System: gridmon.MDS}
+	out := federation.MergeResultSets(q, parts)
+	var keys, tags []string
+	for _, r := range out.Records {
+		keys = append(keys, r.Key)
+		tags = append(tags, r.Fields["tag"])
+	}
+	if !reflect.DeepEqual(keys, []string{"a", "a", "b", "c"}) {
+		t.Errorf("keys not in canonical order: %v", keys)
+	}
+	// The two "a" records tie; stability keeps shard 0's first.
+	if !reflect.DeepEqual(tags[:2], []string{"s0", "s1"}) {
+		t.Errorf("tied keys not in shard order: %v", tags[:2])
+	}
+	if out.Work.RecordsReturned != 4 || out.Work.ThreadSpawns != 1 {
+		t.Errorf("work not summed: %+v", out.Work)
+	}
+	if out.Role != gridmon.RoleInformationServer {
+		t.Errorf("role not defaulted: %q", out.Role)
+	}
+	if out.Partial || len(out.Branches) != 0 {
+		t.Errorf("merge of healthy parts marked partial")
+	}
+}
+
+// TestMergeResultSetsEmpty: merging zero parts still yields a
+// well-formed, empty (not nil) record slice.
+func TestMergeResultSetsEmpty(t *testing.T) {
+	out := federation.MergeResultSets(gridmon.Query{System: gridmon.Hawkeye, Role: gridmon.RoleDirectoryServer}, nil)
+	if out.Records == nil || len(out.Records) != 0 {
+		t.Errorf("want empty non-nil records, got %#v", out.Records)
+	}
+	if out.Role != gridmon.RoleDirectoryServer {
+		t.Errorf("role not carried: %q", out.Role)
+	}
+}

@@ -1,0 +1,497 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gridmon "repro"
+	"repro/internal/transport"
+)
+
+// Router is the aggregator node of the tree — the paper's upper-level
+// GIIS. It answers the same typed Query/Subscribe surface as a single
+// grid by routing to the leaf grids its ShardMap names: host-targeted
+// requests go to the owning shard, broad queries scatter-gather across
+// every shard. It is safe for concurrent use.
+type Router struct {
+	policy        Policy
+	maxFanout     int
+	branchBudget  float64
+	branchTimeout time.Duration
+	dial          gridmon.DialOptions
+
+	// mu guards smap and pool; queries snapshot both at entry and run
+	// entirely against that epoch.
+	mu   sync.RWMutex
+	smap ShardMap
+	pool map[string]*gridmon.RemoteGrid // one lazy resilient client per address
+
+	queries     atomic.Int64
+	partials    atomic.Int64
+	degraded    atomic.Int64
+	branchFails atomic.Int64
+}
+
+// The Router serves the same pull/push surface as a Grid.
+var (
+	_ gridmon.Querier    = (*Router)(nil)
+	_ gridmon.Subscriber = (*Router)(nil)
+)
+
+// New builds a Router over cfg.Map. Construction touches no sockets:
+// each address gets a lazy resilient client (DialLazy), so a leaf that
+// is down at construction costs its branch's budget on the first
+// query — and trips that address's breaker — rather than failing New.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = BestEffort
+	}
+	if policy != BestEffort && policy != FailFast {
+		return nil, fmt.Errorf("unknown policy %q (want %q or %q)", policy, BestEffort, FailFast)
+	}
+	fanout := cfg.MaxFanout
+	if fanout <= 0 {
+		fanout = DefaultMaxFanout
+	}
+	budget := cfg.BranchBudget
+	if budget <= 0 || budget > 1 {
+		budget = DefaultBranchBudget
+	}
+	dial := cfg.Dial
+	if dial.Breaker.Threshold <= 0 {
+		dial.Breaker = gridmon.Breaker{
+			Threshold: DefaultBreakerThreshold,
+			Cooldown:  DefaultBreakerCooldown,
+		}
+	}
+	r := &Router{
+		policy:        policy,
+		maxFanout:     fanout,
+		branchBudget:  budget,
+		branchTimeout: cfg.BranchTimeout,
+		dial:          dial,
+		smap:          cfg.Map,
+		pool:          make(map[string]*gridmon.RemoteGrid),
+	}
+	for _, sh := range cfg.Map.Shards {
+		for _, a := range sh.Addrs {
+			if _, ok := r.pool[a]; !ok {
+				r.pool[a] = gridmon.DialLazy(a, dial)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Map snapshots the current shard map (its Epoch tells callers which
+// generation they saw).
+func (r *Router) Map() ShardMap {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.smap
+}
+
+// SetMap swaps the shard map mid-run. The new map's epoch must be
+// strictly greater than the current one — the guard against stale
+// provisioning racing a newer push. Clients for new addresses are
+// created lazily-dialing; clients for addresses no longer referenced
+// are closed. In-flight queries finish against the epoch they
+// snapshotted.
+func (r *Router) SetMap(m ShardMap) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Epoch <= r.smap.Epoch {
+		return fmt.Errorf("shard map epoch %d is not newer than current epoch %d", m.Epoch, r.smap.Epoch)
+	}
+	need := make(map[string]bool)
+	for _, sh := range m.Shards {
+		for _, a := range sh.Addrs {
+			need[a] = true
+		}
+	}
+	for addr, rg := range r.pool {
+		if !need[addr] {
+			rg.Close()
+			delete(r.pool, addr)
+		}
+	}
+	for addr := range need {
+		if _, ok := r.pool[addr]; !ok {
+			r.pool[addr] = gridmon.DialLazy(addr, r.dial)
+		}
+	}
+	r.smap = m
+	return nil
+}
+
+// Close closes every backend client.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rg := range r.pool {
+		rg.Close()
+	}
+	return nil
+}
+
+// snapshot resolves the current map to per-shard client slices under
+// one read lock.
+func (r *Router) snapshot() (ShardMap, [][]*gridmon.RemoteGrid) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	smap := r.smap
+	backends := make([][]*gridmon.RemoteGrid, len(smap.Shards))
+	for i, sh := range smap.Shards {
+		backends[i] = make([]*gridmon.RemoteGrid, 0, len(sh.Addrs))
+		for _, a := range sh.Addrs {
+			backends[i] = append(backends[i], r.pool[a])
+		}
+	}
+	return smap, backends
+}
+
+// carve derives one branch's context from the caller's remaining
+// budget — always from the parent context, never a fresh root, so the
+// caller cancelling cancels every branch. A fan-out branch gets
+// BranchBudget of the remaining deadline (the reserve keeps the merge
+// inside the caller's deadline); BranchTimeout caps either way and
+// bounds branches when the caller brought no deadline.
+func (r *Router) carve(ctx context.Context, fanout bool) (context.Context, context.CancelFunc) {
+	if dl, ok := ctx.Deadline(); ok {
+		d := time.Until(dl)
+		if fanout {
+			d = time.Duration(float64(d) * r.branchBudget)
+		}
+		if r.branchTimeout > 0 && d > r.branchTimeout {
+			d = r.branchTimeout
+		}
+		return context.WithTimeout(ctx, d)
+	}
+	if r.branchTimeout > 0 {
+		return context.WithTimeout(ctx, r.branchTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// branchOutcome is what one shard's branch produced: an answer or an
+// error, plus the replica address that produced it (the last one
+// tried, on failure).
+type branchOutcome struct {
+	addr string
+	rs   *gridmon.ResultSet
+	err  error
+}
+
+// definitive reports whether a branch error is request-level — the
+// same data on a replica must answer it the same way, so failover
+// cannot help. Everything else (connection errors, deadlines, breaker
+// fast-fails, sheds, exec errors — which is also how dial failures
+// surface) tries the next replica within the branch budget.
+func definitive(err error) bool {
+	switch transport.ErrorCode(err) {
+	case transport.CodeBadRequest, transport.CodeParse, transport.CodeUnknownOp:
+		return true
+	}
+	return false
+}
+
+// queryBranch answers q on one shard, failing over across its replicas.
+func queryBranch(ctx context.Context, backends []*gridmon.RemoteGrid, q gridmon.Query) branchOutcome {
+	var out branchOutcome
+	for _, rg := range backends {
+		out.addr = rg.Addr()
+		rs, err := rg.Query(ctx, q)
+		if err == nil {
+			out.rs, out.err = rs, nil
+			return out
+		}
+		out.err = err
+		if ctx.Err() != nil || definitive(err) {
+			return out
+		}
+	}
+	return out
+}
+
+// callBranch runs one idempotent op on a shard with the same replica
+// failover as queryBranch.
+func callBranch(ctx context.Context, backends []*gridmon.RemoteGrid, op string, req, resp interface{}) error {
+	var lastErr error
+	for _, rg := range backends {
+		err := rg.Call(ctx, op, req, resp)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || definitive(err) {
+			return transport.AsError(err)
+		}
+	}
+	return transport.AsError(lastErr)
+}
+
+// Query answers q across the federation: a host-targeted query routes
+// to the one shard owning the host and returns the leaf's answer
+// unchanged (Records and Work byte-identical to a single grid
+// monitoring the same hosts); a broad query scatter-gathers every
+// shard and merges with MergeResultSets. Branch failures degrade per
+// the configured Policy — see the package comment. Elapsed measures
+// the full federated round trip.
+func (r *Router) Query(ctx context.Context, q gridmon.Query) (*gridmon.ResultSet, error) {
+	start := time.Now()
+	r.queries.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, transport.AsError(err)
+	}
+	smap, backends := r.snapshot()
+	if q.Host != "" {
+		shard := smap.ShardFor(q.Host)
+		bctx, cancel := r.carve(ctx, false)
+		defer cancel()
+		out := queryBranch(bctx, backends[shard], q)
+		if out.err != nil {
+			r.branchFails.Add(1)
+			if err := ctx.Err(); err != nil {
+				return nil, transport.AsError(err)
+			}
+			return nil, out.err
+		}
+		out.rs.Elapsed = time.Since(start)
+		return out.rs, nil
+	}
+	return r.queryBroad(ctx, start, smap, backends, q)
+}
+
+// queryBroad fans q out to every shard with bounded concurrency and
+// merges per the policy.
+func (r *Router) queryBroad(ctx context.Context, start time.Time, smap ShardMap,
+	backends [][]*gridmon.RemoteGrid, q gridmon.Query) (*gridmon.ResultSet, error) {
+	outs := make([]branchOutcome, len(smap.Shards))
+	gctx := ctx
+	cancelGroup := func() {}
+	if r.policy == FailFast {
+		// Fail-fast siblings stop as soon as one branch fails: the
+		// answer is already decided.
+		gctx, cancelGroup = context.WithCancel(ctx)
+	}
+	defer cancelGroup()
+	sem := make(chan struct{}, r.maxFanout)
+	var wg sync.WaitGroup
+	for i := range smap.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-gctx.Done():
+				outs[i] = branchOutcome{addr: smap.Shards[i].Addrs[0], err: transport.AsError(gctx.Err())}
+				return
+			}
+			bctx, cancel := r.carve(gctx, true)
+			defer cancel()
+			outs[i] = queryBranch(bctx, backends[i], q)
+			if outs[i].err != nil && r.policy == FailFast {
+				cancelGroup()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var parts []*gridmon.ResultSet
+	var fails []gridmon.BranchError
+	for i, out := range outs {
+		if out.err != nil {
+			te := transport.AsError(out.err)
+			fails = append(fails, gridmon.BranchError{
+				Shard: i, Addr: out.addr, Code: te.Code, Message: te.Message,
+			})
+			continue
+		}
+		parts = append(parts, out.rs)
+	}
+	if len(fails) == 0 {
+		rs := MergeResultSets(q, parts)
+		rs.Elapsed = time.Since(start)
+		return rs, nil
+	}
+	r.branchFails.Add(int64(len(fails)))
+	if err := ctx.Err(); err != nil {
+		// The caller's own context died; the branch failures are its
+		// echo, not degradation.
+		return nil, transport.AsError(err)
+	}
+	if len(parts) == 0 && passthroughCode(fails) {
+		// Every branch answered the same request-level error — the same
+		// answer a single grid would give, so pass it through untouched.
+		return nil, &transport.Error{Code: fails[0].Code, Message: fails[0].Message}
+	}
+	if r.policy == FailFast || len(parts) == 0 {
+		r.degraded.Add(1)
+		// List originating failures before the cancellations fail-fast
+		// induced in their siblings.
+		sort.SliceStable(fails, func(i, j int) bool {
+			return fails[i].Code != transport.CodeCanceled && fails[j].Code == transport.CodeCanceled
+		})
+		return nil, degradedError(len(outs), fails)
+	}
+	r.partials.Add(1)
+	rs := MergeResultSets(q, parts)
+	rs.Partial = true
+	rs.Branches = fails
+	rs.Elapsed = time.Since(start)
+	return rs, nil
+}
+
+// Subscribe proxies a host-targeted subscription to the shard owning
+// the host (with replica failover on setup). A broad subscription is
+// refused: a standing merged stream would need cross-shard ordering
+// the federation does not promise — subscribe per host, or to each
+// leaf directly. Once established the stream is a direct channel to
+// the leaf; a mid-stream branch failure surfaces as the stream's
+// terminal error exactly as RemoteGrid.Subscribe documents.
+func (r *Router) Subscribe(ctx context.Context, sub gridmon.Subscription) (*gridmon.Stream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, transport.AsError(err)
+	}
+	if sub.Host == "" {
+		return nil, transport.Errf(transport.CodeBadRequest,
+			"federated subscribe needs a Host (a standing stream is served by the shard owning it)")
+	}
+	smap, backends := r.snapshot()
+	shard := smap.ShardFor(sub.Host)
+	var lastErr error
+	for _, rg := range backends[shard] {
+		st, err := rg.Subscribe(ctx, sub)
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || definitive(err) {
+			break
+		}
+	}
+	return nil, transport.AsError(lastErr)
+}
+
+// Hosts lists every monitored host across the shards, sorted (each
+// leaf reports its own subset; the sort makes the union order
+// deterministic regardless of shard layout).
+func (r *Router) Hosts(ctx context.Context) ([]string, error) {
+	smap, backends := r.snapshot()
+	hosts := []string{}
+	for i := range smap.Shards {
+		var hl gridmon.HostList
+		if err := callBranch(ctx, backends[i], "grid.hosts", nil, &hl); err != nil {
+			return nil, err
+		}
+		hosts = append(hosts, hl.Hosts...)
+	}
+	sort.Strings(hosts)
+	return hosts, nil
+}
+
+// Systems lists the deployed systems, taken from the first shard that
+// answers (the tree deploys the same systems on every leaf).
+func (r *Router) Systems(ctx context.Context) ([]gridmon.System, error) {
+	smap, backends := r.snapshot()
+	var lastErr error
+	for i := range smap.Shards {
+		var sl gridmon.SystemList
+		if err := callBranch(ctx, backends[i], "grid.systems", nil, &sl); err != nil {
+			lastErr = err
+			continue
+		}
+		return sl.Systems, nil
+	}
+	return nil, transport.AsError(lastErr)
+}
+
+// BackendStats is one replica address's health as the Router sees it:
+// the resilient client's counters, breaker state included (an open
+// breaker is a branch marked down; half-open is a probe under way).
+type BackendStats struct {
+	Shard  int                 `json:"shard"`
+	Addr   string              `json:"addr"`
+	Client gridmon.ClientStats `json:"client"`
+}
+
+// Stats is a snapshot of the Router's federation counters, served over
+// the fed.stats op.
+type Stats struct {
+	Epoch  uint64 `json:"epoch"`
+	Shards int    `json:"shards"`
+	Policy Policy `json:"policy"`
+	// Queries counts Query calls; Partials the best-effort answers that
+	// came back partial; Degraded the queries that failed with
+	// CodeDegraded; BranchFailures every failed branch across all
+	// queries.
+	Queries        int64          `json:"queries"`
+	Partials       int64          `json:"partials"`
+	Degraded       int64          `json:"degraded"`
+	BranchFailures int64          `json:"branch_failures"`
+	Backends       []BackendStats `json:"backends"`
+}
+
+// Stats snapshots the Router's counters and every backend's health.
+func (r *Router) Stats() Stats {
+	smap, backends := r.snapshot()
+	st := Stats{
+		Epoch:          smap.Epoch,
+		Shards:         len(smap.Shards),
+		Policy:         r.policy,
+		Queries:        r.queries.Load(),
+		Partials:       r.partials.Load(),
+		Degraded:       r.degraded.Load(),
+		BranchFailures: r.branchFails.Load(),
+	}
+	for i, shard := range backends {
+		for _, rg := range shard {
+			st.Backends = append(st.Backends, BackendStats{
+				Shard: i, Addr: rg.Addr(), Client: rg.ClientStats(),
+			})
+		}
+	}
+	return st
+}
+
+// Serve registers the aggregator's ops on srv: the same grid.query /
+// grid.subscribe / grid.hosts / grid.systems surface a leaf serves —
+// so a RemoteGrid pointed at an aggregator works unchanged, and trees
+// can stack (an aggregator's shard address may itself be an
+// aggregator) — plus fed.stats for the federation counters.
+func (r *Router) Serve(srv *gridmon.TransportServer) {
+	srv.Concurrent = true
+	transport.Handle(srv, "grid.query", func(ctx context.Context, q gridmon.Query) (*gridmon.ResultSet, error) {
+		return r.Query(ctx, q)
+	})
+	gridmon.ServeSubscribe(srv, r)
+	transport.Handle(srv, "grid.hosts", func(ctx context.Context, _ struct{}) (gridmon.HostList, error) {
+		hosts, err := r.Hosts(ctx)
+		if err != nil {
+			return gridmon.HostList{}, err
+		}
+		return gridmon.HostList{Hosts: hosts}, nil
+	})
+	transport.Handle(srv, "grid.systems", func(ctx context.Context, _ struct{}) (gridmon.SystemList, error) {
+		systems, err := r.Systems(ctx)
+		if err != nil {
+			return gridmon.SystemList{}, err
+		}
+		return gridmon.SystemList{Systems: systems}, nil
+	})
+	transport.Handle(srv, "fed.stats", func(ctx context.Context, _ struct{}) (Stats, error) {
+		return r.Stats(), nil
+	})
+}

@@ -155,30 +155,12 @@ func (c *Client) StreamV2(ctx context.Context, op string, req interface{}) (*Cli
 	if err := ctx.Err(); err != nil {
 		return nil, AsError(err)
 	}
-	// Bound the handshake by the context: a deadline arms the socket
-	// directly; a cancel-only context poisons it from a watcher (the
-	// same discipline as CallV2), so a stalled server cannot wedge the
-	// subscribe forever.
-	if dl, ok := ctx.Deadline(); ok {
-		c.conn.SetDeadline(dl)
-		defer c.conn.SetDeadline(time.Time{})
-	} else if done := ctx.Done(); done != nil {
-		stop := make(chan struct{})
-		exited := make(chan struct{})
-		go func() {
-			defer close(exited)
-			select {
-			case <-done:
-				c.conn.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		defer func() {
-			close(stop)
-			<-exited
-			c.conn.SetDeadline(time.Time{})
-		}()
-	}
+	// Bound the handshake by the context: a deadline arms the socket,
+	// and a watcher poisons it on cancellation (the same discipline as
+	// CallV2 — see guardConn), so a stalled server cannot wedge the
+	// subscribe forever and an early cancel does not wait out a later
+	// deadline.
+	defer c.guardConn(ctx)()
 	handshakeErr := func(err error) error {
 		// Report the caller's own cancellation/expiry in preference to
 		// the i/o error it surfaced as.

@@ -52,6 +52,15 @@ const (
 	// CodeProtocol: the peer does not speak the v2 protocol (a v1-only
 	// server answered a v2 frame).
 	CodeProtocol Code = "protocol_mismatch"
+	// CodeDegraded: a federation aggregator could not assemble a complete
+	// answer — every branch failed, or one did under the fail-fast
+	// policy. The message names the failed branches; under best-effort a
+	// partial answer is returned as data instead (ResultSet.Partial with
+	// per-branch metadata), not as this error. The aggregator already
+	// retried within its branch budgets, so blind client retries are not
+	// useful; re-query when the tree heals (see ClientStats breaker
+	// state).
+	CodeDegraded Code = "degraded"
 	// CodeInternal: the server failed to encode its own response.
 	CodeInternal Code = "internal"
 )
@@ -251,30 +260,8 @@ func (c *Client) CallV2(ctx context.Context, op string, req, resp interface{}) e
 		if frame.TimeoutMillis == 0 {
 			frame.TimeoutMillis = 1
 		}
-		c.conn.SetDeadline(dl)
-		defer c.conn.SetDeadline(time.Time{})
-	} else if done := ctx.Done(); done != nil {
-		// No deadline but cancellable: a watcher poisons the socket
-		// deadline on cancellation so the blocking read returns. The
-		// cleanup waits for the watcher to exit before clearing the
-		// deadline, so a cancel racing the call's completion cannot
-		// leave the connection poisoned.
-		stop := make(chan struct{})
-		exited := make(chan struct{})
-		go func() {
-			defer close(exited)
-			select {
-			case <-done:
-				c.conn.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		defer func() {
-			close(stop)
-			<-exited
-			c.conn.SetDeadline(time.Time{})
-		}()
 	}
+	defer c.guardConn(ctx)()
 	if err := ctx.Err(); err != nil {
 		return AsError(err)
 	}
@@ -287,6 +274,39 @@ func (c *Client) CallV2(ctx context.Context, op string, req, resp interface{}) e
 		return err
 	}
 	return nil
+}
+
+// guardConn bounds a blocking exchange by ctx, returning the cleanup
+// to defer. A deadline arms the socket directly; any cancellable
+// context — deadline or not — additionally gets a watcher that poisons
+// the socket deadline the moment ctx is done, so an explicit cancel
+// interrupts a blocked read even when a (later) deadline is also
+// armed. The cleanup waits for the watcher to exit before clearing the
+// deadline, so a cancel racing the call's completion cannot leave the
+// connection poisoned. Callers hold c.mu.
+func (c *Client) guardConn(ctx context.Context) func() {
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	}
+	done := ctx.Done()
+	if done == nil {
+		return func() { c.conn.SetDeadline(time.Time{}) }
+	}
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-done:
+			c.conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		<-exited
+		c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // exchange writes one v2 frame and decodes the reply. Callers hold c.mu.

@@ -73,7 +73,18 @@ const (
 	// (the canonical error instance is ErrOverloaded, which errors.Is
 	// matches by this code).
 	ErrOverloadedCode = transport.CodeOverloaded
+	// ErrDegradedCode is the code a federation aggregator fails with when
+	// it cannot assemble an answer at all (every branch down, or any
+	// branch down under the fail-fast policy); a best-effort partial
+	// answer returns data with ResultSet.Partial instead. See
+	// internal/federation.
+	ErrDegradedCode = transport.CodeDegraded
 )
+
+// ErrDegraded is the canonical degraded-federation error instance:
+// errors.Is(err, ErrDegraded) matches any error carrying
+// ErrDegradedCode.
+var ErrDegraded error = &transport.Error{Code: transport.CodeDegraded}
 
 // CodeOf extracts the structured code from a query error (ErrExec for
 // plain errors).

@@ -170,19 +170,40 @@ func Dial(addr string) (*RemoteGrid, error) {
 // MaxRetries 0 still reconnects on its next call after an error — it
 // just doesn't retry the failed call itself).
 func DialWith(addr string, opts DialOptions) (*RemoteGrid, error) {
-	r := &RemoteGrid{
+	//gridmon:nolint ctxflow compat root: Dial/DialWith are the pre-context entry points; per-call ctx governs everything after
+	return DialContextWith(context.Background(), addr, opts)
+}
+
+// DialContextWith is DialWith with the eager initial connection bounded
+// by ctx, so an unreachable address costs the caller's budget, never a
+// hang.
+func DialContextWith(ctx context.Context, addr string, opts DialOptions) (*RemoteGrid, error) {
+	r := DialLazy(addr, opts)
+	c, err := r.dialClient(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.connMu.Lock()
+	r.client = c
+	r.connMu.Unlock()
+	return r, nil
+}
+
+// DialLazy builds a resilient client without touching the network: the
+// first connection is established by the first call and repaired the
+// same way after losses, so construction never fails and never blocks.
+// Every connection failure — including the very first dial — feeds the
+// configured circuit breaker, which is what a federation aggregator
+// wants: a leaf that is down from the start trips the branch's breaker
+// exactly like one that died mid-run, and half-open probes notice it
+// coming back.
+func DialLazy(addr string, opts DialOptions) *RemoteGrid {
+	return &RemoteGrid{
 		addr: addr,
 		opts: opts,
 		br:   newBreaker(opts.Breaker),
 		rng:  rand.New(rand.NewSource(defSeed(opts.Backoff.Seed))),
 	}
-	//gridmon:nolint ctxflow compat root: Dial/DialWith are the pre-context entry points; per-call ctx governs everything after
-	c, err := r.dialClient(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	r.client = c
-	return r, nil
 }
 
 func defSeed(seed int64) int64 {
@@ -355,6 +376,19 @@ func (r *RemoteGrid) classify(ctx context.Context, err error) (retry, reconnect,
 		return false, false, true
 	}
 }
+
+// Call runs one idempotent typed request/response op through the full
+// resilience machinery (breaker gate, per-attempt timeout, retry with
+// backoff and reconnect) — the raw form of Query/Hosts/Systems/Ops/
+// Stats for callers that route arbitrary ops, like gridmon-query and
+// the federation backend pool. The op must be idempotent: a retried
+// Call re-sends the request after connection repair.
+func (r *RemoteGrid) Call(ctx context.Context, op string, req, resp interface{}) error {
+	return r.call(ctx, op, req, resp)
+}
+
+// Addr returns the server address this client dials.
+func (r *RemoteGrid) Addr() string { return r.addr }
 
 // ClientStats snapshots the client's local resilience counters.
 func (r *RemoteGrid) ClientStats() ClientStats {

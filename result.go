@@ -21,6 +21,13 @@ type Work = core.Work
 // component performed, and the elapsed wall time observed by the caller
 // (so a remote ResultSet's Elapsed includes the network round trip,
 // while Records and Work are byte-identical to the in-process answer).
+//
+// A federation aggregator (internal/federation) answering under the
+// best-effort policy may return a partial answer: Partial is true and
+// Branches records, per failed branch, what went wrong. Both fields
+// travel the wire inside the grid.query response, so a remote caller
+// sees exactly what an in-process caller of the Router would. A
+// single grid never sets them.
 type ResultSet struct {
 	System  System        `json:"system"`
 	Role    Role          `json:"role"`
@@ -28,6 +35,23 @@ type ResultSet struct {
 	Records []Record      `json:"records"`
 	Work    Work          `json:"work"`
 	Elapsed time.Duration `json:"elapsed"`
+	// Partial reports that one or more federation branches failed and
+	// Records covers only the surviving shards. False on a complete
+	// answer (and always false from a single grid).
+	Partial bool `json:"partial,omitempty"`
+	// Branches carries the per-branch failure metadata when Partial is
+	// set (or when a degraded answer is being explained).
+	Branches []BranchError `json:"branch_errors,omitempty"`
+}
+
+// BranchError is one federation branch's failure: which shard, the
+// replica address that answered (or the last one tried), and the
+// structured code the branch failed with.
+type BranchError struct {
+	Shard   int       `json:"shard"`
+	Addr    string    `json:"addr"`
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
 }
 
 // Len returns the number of records.
@@ -58,6 +82,12 @@ func (rs *ResultSet) String() string {
 	fmt.Fprintf(&sb, "%s %s: %d record(s), %d visited, %d bytes, %.3fs\n",
 		rs.System, rs.Role, len(rs.Records), rs.Work.RecordsVisited,
 		rs.Work.ResponseBytes, rs.Elapsed.Seconds())
+	if rs.Partial {
+		fmt.Fprintf(&sb, "  PARTIAL: %d branch(es) failed\n", len(rs.Branches))
+		for _, b := range rs.Branches {
+			fmt.Fprintf(&sb, "    shard %d (%s): %s [%s]\n", b.Shard, b.Addr, b.Message, b.Code)
+		}
+	}
 	for _, r := range rs.Records {
 		fmt.Fprintf(&sb, "  %s\n", r.Key)
 		for _, name := range r.SortedFieldNames() {

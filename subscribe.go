@@ -378,15 +378,21 @@ type wireEvent struct {
 	Buffer int    `json:"buffer,omitempty"`
 }
 
-// serveSubscribe registers the grid.subscribe streaming op: the body is
-// a Subscription, the event frames are wireEvents, and cancellation
-// propagates both ways (a client cancel detaches the server-side
-// sources; a server-side source failure ends the client's stream with
-// the structured error).
-func (g *Grid) serveSubscribe(srv *transport.Server) {
+// serveSubscribe registers the grid.subscribe streaming op for the
+// in-process grid.
+func (g *Grid) serveSubscribe(srv *transport.Server) { ServeSubscribe(srv, g) }
+
+// ServeSubscribe registers the grid.subscribe streaming op backed by any
+// Subscriber — the in-process Grid, or a federation Router proxying the
+// stream to the shard that owns the host. The body is a Subscription,
+// the event frames are wireEvents, and cancellation propagates both
+// ways (a client cancel detaches the serving-side sources; a
+// serving-side source failure ends the client's stream with the
+// structured error).
+func ServeSubscribe(srv *TransportServer, source Subscriber) {
 	transport.HandleStream(srv, "grid.subscribe",
 		func(ctx context.Context, sub Subscription) (transport.StreamFunc, error) {
-			st, err := g.Subscribe(ctx, sub)
+			st, err := source.Subscribe(ctx, sub)
 			if err != nil {
 				return nil, err
 			}
