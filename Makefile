@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all ci fmt vet lint build test race stress recovery chaos fed-chaos load-smoke bench bench-json bench-compare
+.PHONY: all ci fmt vet lint build test race stress recovery chaos fed-chaos wire load-smoke bench bench-json bench-compare bench-compare-wire
 
 all: ci
 
@@ -65,6 +65,15 @@ chaos:
 fed-chaos:
 	$(GO) test -race -count=3 ./internal/federation
 
+# wire re-runs the wire-protocol gates hard under the race detector:
+# the v2/v3 equivalence suites (identical answers and event sequences
+# across generations, the no-binary-codec JSON fallback), the v3
+# transport/mux and codec suites, the typed record codec round trips,
+# and the pipelining chaos case (mid-frame reset with K>1 in-flight
+# calls fails exactly the affected calls, typed, no hang).
+wire:
+	$(GO) test -race -count=3 -run 'Proto|Wire|V3|Codec|ChaosPipelined' . ./internal/transport
+
 # load-smoke proves the closed-loop load generator end to end: an
 # in-process server, two users, one second — enough to catch rot without
 # measuring anything.
@@ -95,3 +104,14 @@ bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -json ./... > bench-current.json.tmp
 	$(GO) run ./cmd/gridmon-bench -compare $(BASELINE) -against bench-current.json.tmp; \
 		status=$$?; rm -f bench-current.json.tmp; exit $$status
+
+# bench-compare-wire is the CI wire job's gate: only the codec/framing
+# microbenchmarks — steady, microsecond-scale, reliable to threshold —
+# are re-run and diffed against the recorded baseline. The full-suite
+# bench-compare stays a human prompt because the multi-second figure
+# simulations swing far past the threshold on loaded shared hardware.
+bench-compare-wire:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found (run make bench-json first)"; exit 1; }
+	$(GO) test -run '^$$' -bench 'Wire|V3|ReadFrame' -benchmem -json . ./internal/transport > bench-wire.json.tmp
+	$(GO) run ./cmd/gridmon-bench -compare $(BASELINE) -against bench-wire.json.tmp -filter '^Benchmark(Wire|V3|ReadFrame)'; \
+		status=$$?; rm -f bench-wire.json.tmp; exit $$status

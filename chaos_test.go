@@ -3,6 +3,7 @@ package gridmon
 import (
 	"context"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -147,6 +148,100 @@ func TestChaosMidFrameReset(t *testing.T) {
 	st := remote.ClientStats()
 	if st.Retries < 2 || st.Reconnects < 2 {
 		t.Errorf("client stats after two torn connections: %+v (want >=2 retries and reconnects)", st)
+	}
+}
+
+// TestChaosPipelinedMidFrameReset: many calls pipelined concurrently
+// over a single v3 connection, which the server tears mid-frame. The
+// pipelining contract under faults: exactly the calls riding the torn
+// connection fail, each with a typed error; no call hangs, no call
+// receives another call's answer, and the next call after the tear
+// re-dials a clean connection. MaxRetries is 0 so the typed errors
+// surface unmasked instead of being retried away.
+func TestChaosPipelinedMidFrameReset(t *testing.T) {
+	grid := newTestGrid(t)
+	addr, inj := chaosServe(t, grid, faultconn.Plan{
+		Seed:            8,
+		ResetAfterBytes: 4096,
+		FaultConns:      1,
+	})
+	remote, err := DialWith(addr, DialOptions{MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Reference answers from an identical local grid, one per probe.
+	local := newTestGrid(t)
+	want := make([]*ResultSet, len(chaosQueries))
+	for i, q := range chaosQueries {
+		if want[i], err = local.Query(ctx, q); err != nil {
+			t.Fatalf("%s local: %v", q.System, err)
+		}
+	}
+
+	const workers = 8
+	var succeeded, failed atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := chaosQueries[w%len(chaosQueries)]
+			ref := want[w%len(chaosQueries)]
+			for i := 0; i < 32; i++ {
+				rs, err := remote.Query(ctx, q)
+				if err != nil {
+					errs[w] = err
+					failed.Add(1)
+					return
+				}
+				succeeded.Add(1)
+				// The no-corruption half: a pipelined reply must be THIS
+				// call's answer, not a sibling's that raced the tear.
+				if rs.System != ref.System || len(rs.Records) != len(ref.Records) {
+					t.Errorf("worker %d: got %s/%d records, want %s/%d (cross-call corruption?)",
+						w, rs.System, len(rs.Records), ref.System, len(ref.Records))
+					return
+				}
+				for j := range ref.Records {
+					if rs.Records[j].Key != ref.Records[j].Key {
+						t.Errorf("worker %d record %d: key %q, want %q (cross-call corruption?)",
+							w, j, rs.Records[j].Key, ref.Records[j].Key)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		t.Fatal("pipelined calls did not all resolve before the deadline (hang)")
+	}
+	if failed.Load() == 0 {
+		t.Fatalf("the doomed connection failed no calls (injector %+v)", inj.Stats())
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("no pipelined call completed before the tear; widen ResetAfterBytes")
+	}
+	for w, err := range errs {
+		if err != nil && CodeOf(err) == "" {
+			t.Errorf("worker %d failed without a typed code: %v", w, err)
+		}
+	}
+
+	// Recovery: the injector only dooms the first connection, so the
+	// probe set over a fresh dial answers correctly end to end.
+	assertChaosAnswers(t, ctx, local, remote)
+	if st := inj.Stats(); st.Resets != 1 {
+		t.Errorf("injector resets = %d, want exactly the 1 doomed connection", st.Resets)
+	}
+	if st := remote.ClientStats(); st.Reconnects < 1 {
+		t.Errorf("client stats after the tear: %+v (want >=1 reconnect)", st)
 	}
 }
 

@@ -147,8 +147,12 @@ func compareBench(baseline, current map[string]float64) (regressed, missing []st
 }
 
 // runCompare is the -compare entry point; it returns the process exit
-// status (1 when regressions are flagged).
-func runCompare(baselinePath, againstPath string) int {
+// status (1 when regressions are flagged). A non-empty filter regexp
+// restricts both sides to matching benchmark names before the diff, so
+// a scoped gate (the CI wire job compares only the steady codec/frame
+// microbenchmarks) can run a partial suite without the missing-baseline
+// check reading it as a crash.
+func runCompare(baselinePath, againstPath, filter string) int {
 	baseline, err := readBenchFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reading baseline %s: %v\n", baselinePath, err)
@@ -158,6 +162,22 @@ func runCompare(baselinePath, againstPath string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reading current run %s: %v\n", againstPath, err)
 		return 1
+	}
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -filter %q: %v\n", filter, err)
+			return 1
+		}
+		keep := func(m map[string]float64) {
+			for name := range m {
+				if !re.MatchString(name) {
+					delete(m, name)
+				}
+			}
+		}
+		keep(baseline)
+		keep(current)
 	}
 	if len(baseline) == 0 {
 		fmt.Fprintf(os.Stderr, "no benchmark results in baseline %s\n", baselinePath)

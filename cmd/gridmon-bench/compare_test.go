@@ -119,7 +119,7 @@ func TestRunCompareEmptyBaseline(t *testing.T) {
 	// pass with zero regressions.
 	base := writeStream(t, "base.json", events(t, [2]string{"repro/a", "ok  \trepro/a\t0.1s\n"}))
 	cur := writeStream(t, "cur.json", events(t, [2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"}))
-	if status := runCompare(base, cur); status != 1 {
+	if status := runCompare(base, cur, ""); status != 1 {
 		t.Errorf("runCompare(empty baseline) = %d, want 1", status)
 	}
 }
@@ -134,8 +134,36 @@ func TestRunCompareMissingBenchmarkFails(t *testing.T) {
 	cur := writeStream(t, "cur.json", events(t,
 		[2]string{"repro/a", "BenchmarkX-4 \t 10 \t 5.0 ns/op\n"},
 	))
-	if status := runCompare(base, cur); status != 1 {
+	if status := runCompare(base, cur, ""); status != 1 {
 		t.Errorf("runCompare(partial current) = %d, want 1", status)
+	}
+}
+
+func TestRunCompareFilter(t *testing.T) {
+	// The filter scopes both sides: a partial current run passes when the
+	// filter excludes the absent baseline benchmarks, and a regression
+	// outside the filter is invisible — but one inside it still fails.
+	base := writeStream(t, "base.json", events(t,
+		[2]string{"repro/a", "BenchmarkWireX-4 \t 10 \t 5.0 ns/op\n"},
+		[2]string{"repro/a", "BenchmarkSimY-4 \t 10 \t 100.0 ns/op\n"},
+	))
+	cur := writeStream(t, "cur.json", events(t,
+		[2]string{"repro/a", "BenchmarkWireX-4 \t 10 \t 5.2 ns/op\n"},
+	))
+	if status := runCompare(base, cur, "Wire"); status != 0 {
+		t.Errorf("runCompare(filter=Wire, SimY absent) = %d, want 0", status)
+	}
+	if status := runCompare(base, cur, ""); status != 1 {
+		t.Errorf("runCompare(no filter, SimY absent) = %d, want 1", status)
+	}
+	slow := writeStream(t, "slow.json", events(t,
+		[2]string{"repro/a", "BenchmarkWireX-4 \t 10 \t 50.0 ns/op\n"},
+	))
+	if status := runCompare(base, slow, "Wire"); status != 1 {
+		t.Errorf("runCompare(filter=Wire, WireX regressed) = %d, want 1", status)
+	}
+	if status := runCompare(base, cur, "("); status != 1 {
+		t.Errorf("runCompare(bad filter) = %d, want 1", status)
 	}
 }
 
@@ -147,7 +175,7 @@ func TestRunCompareCleanPass(t *testing.T) {
 		// A different GOMAXPROCS suffix must still align by name.
 		[2]string{"repro/a", "BenchmarkX-16 \t 10 \t 5.2 ns/op\n"},
 	))
-	if status := runCompare(base, cur); status != 0 {
+	if status := runCompare(base, cur, ""); status != 0 {
 		t.Errorf("runCompare(clean) = %d, want 0", status)
 	}
 }

@@ -48,12 +48,13 @@ func run() int {
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files to this directory")
 	compare := flag.String("compare", "", "baseline BENCH_<date>.json to diff instead of running experiments")
 	against := flag.String("against", "-", "current-run bench json to diff the baseline with (- = stdin)")
+	filter := flag.String("filter", "", "compare: regexp restricting which benchmarks are diffed (empty = all)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *compare != "" {
-		return runCompare(*compare, *against)
+		return runCompare(*compare, *against, *filter)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

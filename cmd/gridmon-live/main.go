@@ -100,6 +100,7 @@ func main() {
 	retries := flag.Int("retries", 0, "giis: retries per backend call")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "giis: per-attempt timeout per backend call")
 	breaker := flag.String("breaker", "", "giis: backend circuit breaker as THRESHOLD[,COOLDOWN] (empty: federation default)")
+	proto := flag.String("proto", "v3", "giis: wire protocol generation for backend dials: v2 (JSON) or v3 (binary, pipelined)")
 	flag.Parse()
 	if *advance <= 0 {
 		log.Fatalf("-advance %v: the monitoring-round interval must be positive", *advance)
@@ -107,7 +108,7 @@ func main() {
 	hosts := strings.Split(*hostList, ",")
 
 	if *role == "giis" {
-		runGIIS(*addr, *shards, *policy, *fanout, *branchTimeout, *retries, *attemptTimeout, *breaker)
+		runGIIS(*addr, *shards, *policy, *fanout, *branchTimeout, *retries, *attemptTimeout, *breaker, *proto)
 		return
 	}
 	if *role != "grid" && *role != "leaf" {
@@ -180,9 +181,12 @@ func main() {
 // runGIIS serves the federation aggregator: no grid of its own, just
 // the Router scatter-gathering the -shards leaves.
 func runGIIS(addr, shards, policy string, fanout int, branchTimeout time.Duration,
-	retries int, attemptTimeout time.Duration, breaker string) {
+	retries int, attemptTimeout time.Duration, breaker, proto string) {
 	if shards == "" {
 		log.Fatal("-role giis needs -shards (the leaf addresses to aggregate)")
+	}
+	if proto != "v2" && proto != "v3" {
+		log.Fatalf("-proto %q: want v2 or v3", proto)
 	}
 	m, err := federation.ParseShardMap(shards)
 	if err != nil {
@@ -205,6 +209,7 @@ func runGIIS(addr, shards, policy string, fanout int, branchTimeout time.Duratio
 			MaxRetries:     retries,
 			AttemptTimeout: attemptTimeout,
 			Breaker:        br,
+			Proto:          gridmon.Proto(proto),
 		},
 	})
 	if err != nil {

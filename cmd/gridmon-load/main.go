@@ -12,7 +12,7 @@
 //	             [-hosts lucky3,...] [-producers 3] [-advance 1s] [-cache 0]
 //	             [-data DIR] [-admit-max 0] [-admit-queue 16] [-admit-timeout 100ms]
 //	             [-scenario restart|overload|churn] [-fed-shards 3]
-//	             [-cpuprofile f] [-memprofile f]
+//	             [-proto v2|v3] [-cpuprofile f] [-memprofile f]
 //
 // With no -addr the tool serves itself: it builds an in-process grid
 // (over -hosts, with -producers R-GMA producers per host and, when
@@ -27,6 +27,10 @@
 // server (state is steady, queries are read-only). When the query shape
 // needs a Host (MDS or Hawkeye information servers) and -host is empty,
 // users rotate across the grid's monitored hosts.
+//
+// Each level also reports allocs/op and bytes/op — the process's heap
+// allocation deltas per completed query — so the codec cost of the wire
+// generation (-proto v2 vs v3) shows up next to the latency columns.
 //
 // The cache hit rate is computed from the Work.CacheHits/CacheMisses
 // counters in each response, so it reflects the serving grid's cache,
@@ -71,6 +75,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
@@ -109,6 +114,7 @@ func run() int {
 	admitTimeout := flag.Duration("admit-timeout", 100*time.Millisecond, "self-serve: admission control queue timeout")
 	scenario := flag.String("scenario", "", "run a fault scenario instead of the level sweep: restart, overload or churn")
 	fedShards := flag.Int("fed-shards", 3, "churn: number of leaf grids the -hosts universe is sharded over")
+	proto := flag.String("proto", "v3", "wire protocol generation the users dial: v2 (JSON) or v3 (binary, pipelined)")
 	maxErrRate := flag.Float64("max-error-rate", 0,
 		"exit non-zero when a level's transport-error rate exceeds this fraction (sheds excluded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the client loop to this file")
@@ -124,6 +130,11 @@ func run() int {
 		log.Printf("bad -o %q (want table or json)", *output)
 		return 1
 	}
+	if *proto != "v2" && *proto != "v3" {
+		log.Printf("bad -proto %q (want v2 or v3)", *proto)
+		return 1
+	}
+	dialProto = gridmon.Proto(*proto)
 
 	switch *scenario {
 	case "", "restart", "overload", "churn":
@@ -301,7 +312,18 @@ type levelResult struct {
 	// CacheHitRate is hits/(hits+misses) summed over every response's
 	// Work counters; nil when the serving grid has no query cache.
 	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
+	// AllocsPerOp and BytesPerOp are the process's heap allocations per
+	// completed query over the level window (runtime.MemStats deltas,
+	// think-time sleeps included). In self-serve mode the server shares
+	// the process, so the figure covers both halves of the exchange —
+	// which is exactly the codec cost the v3 wire format attacks.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
+
+// dialProto is the -proto flag: the wire generation every user (and
+// scenario client) dials unless its DialOptions pin one explicitly.
+var dialProto gridmon.Proto
 
 // userStats is one user's tally, merged after the level completes.
 type userStats struct {
@@ -329,6 +351,9 @@ func runLevel(addr string, q gridmon.Query, hosts []string, users int,
 func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
 	duration, think time.Duration, dial gridmon.DialOptions,
 	observe func(start, done time.Time, rs *gridmon.ResultSet)) (levelResult, error) {
+	if dial.Proto == "" {
+		dial.Proto = dialProto
+	}
 	// Dial every user before the window opens so slow connects don't
 	// eat into the measurement.
 	conns := make([]*gridmon.RemoteGrid, users)
@@ -341,6 +366,10 @@ func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
 		defer rg.Close()
 	}
 	stats := make([]userStats, users)
+	// Heap-allocation deltas over the measurement window, normalized per
+	// completed query after the level ends.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	deadline := time.Now().Add(duration)
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -384,7 +413,15 @@ func runLevelObserved(addr string, q gridmon.Query, hosts []string, users int,
 		}()
 	}
 	wg.Wait()
-	return mergeStats(users, stats, time.Since(start)), nil
+	elapsed := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res := mergeStats(users, stats, elapsed)
+	if res.Queries > 0 {
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.Queries)
+		res.BytesPerOp = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(res.Queries)
+	}
+	return res, nil
 }
 
 // mergeStats folds the per-user tallies into one level's result.
@@ -453,15 +490,16 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func printTable(results []levelResult) {
-	fmt.Printf("%7s %9s %7s %7s %12s %10s %10s %10s %9s\n",
-		"users", "queries", "errors", "shed", "qps", "mean-ms", "p50-ms", "p99-ms", "cache-hit")
+	fmt.Printf("%7s %9s %7s %7s %12s %10s %10s %10s %9s %11s %11s\n",
+		"users", "queries", "errors", "shed", "qps", "mean-ms", "p50-ms", "p99-ms", "cache-hit", "allocs/op", "bytes/op")
 	for _, r := range results {
 		hit := "-"
 		if r.CacheHitRate != nil {
 			hit = fmt.Sprintf("%.1f%%", 100**r.CacheHitRate)
 		}
-		fmt.Printf("%7d %9d %7d %7d %12.1f %10.3f %10.3f %10.3f %9s\n",
-			r.Users, r.Queries, r.Errors, r.Shed, r.Throughput, r.MeanMS, r.P50MS, r.P99MS, hit)
+		fmt.Printf("%7d %9d %7d %7d %12.1f %10.3f %10.3f %10.3f %9s %11.0f %11.0f\n",
+			r.Users, r.Queries, r.Errors, r.Shed, r.Throughput, r.MeanMS, r.P50MS, r.P99MS, hit,
+			r.AllocsPerOp, r.BytesPerOp)
 	}
 }
 

@@ -77,6 +77,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per failed idempotent call (0 = single attempt)")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "per-attempt timeout within -timeout (0 = none)")
 	breaker := flag.String("breaker", "", "circuit breaker as THRESHOLD[,COOLDOWN], e.g. 3,1s (empty = off)")
+	proto := flag.String("proto", "v3", "wire protocol generation: v2 (JSON frames) or v3 (binary, pipelined)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -104,10 +105,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -breaker %q: %v\n", *breaker, err)
 		os.Exit(2)
 	}
+	if *proto != "v2" && *proto != "v3" {
+		fmt.Fprintf(os.Stderr, "bad -proto %q (want v2 or v3)\n", *proto)
+		os.Exit(2)
+	}
 	dialOpts := gridmon.DialOptions{
 		MaxRetries:     *retries,
 		AttemptTimeout: *attemptTimeout,
 		Breaker:        br,
+		Proto:          gridmon.Proto(*proto),
 	}
 
 	if *watch {

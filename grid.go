@@ -424,6 +424,10 @@ func (g *Grid) Serve(srv *transport.Server) {
 	transport.Handle(srv, "grid.query", func(ctx context.Context, q Query) (*ResultSet, error) {
 		return g.Query(ctx, q)
 	})
+	// The binary v3 codec serves the same grid.query (and the batched v3
+	// subscribe stream) without the JSON round trip; v1/v2 clients and
+	// the v3 JSON bridge keep using the handlers above.
+	ServeQueryV3(srv, g)
 	g.serveSubscribe(srv)
 	g.serveStats(srv)
 	transport.Handle(srv, "grid.hosts", func(context.Context, struct{}) (HostList, error) {

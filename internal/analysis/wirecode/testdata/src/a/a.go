@@ -3,6 +3,7 @@ package a
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -52,7 +53,12 @@ func named(ctx context.Context, r Req) (Resp, error) {
 	return Resp{}, fmt.Errorf("named boom") // want `fmt.Errorf crosses the v2 wire`
 }
 
-// helper is not a handler: bare errors are fine in ordinary code.
+// helper is not a handler: bare errors are fine in ordinary code, and
+// the JSON check only applies inside package transport, so this
+// marshal is free too.
 func helper() error {
+	if _, err := json.Marshal(Req{Q: "x"}); err != nil {
+		return err
+	}
 	return fmt.Errorf("not on the wire")
 }

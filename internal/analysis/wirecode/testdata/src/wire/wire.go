@@ -1,0 +1,30 @@
+// Package transport (import path "wire" in testdata) exercises the
+// transport-package JSON check: any json.Marshal/Unmarshal here must
+// either be flagged or carry a nolint naming itself a compat shim.
+package transport
+
+import "encoding/json"
+
+// Frame is a stand-in wire frame.
+type Frame struct {
+	Op   string `json:"op"`
+	Body []byte `json:"body"`
+}
+
+// encodeHot is a hot-path encode that reached for JSON: flagged.
+func encodeHot(f Frame) ([]byte, error) {
+	return json.Marshal(f) // want `encoding/json.Marshal in package transport`
+}
+
+// decodeHot is the matching decode: flagged.
+func decodeHot(b []byte) (Frame, error) {
+	var f Frame
+	err := json.Unmarshal(b, &f) // want `encoding/json.Unmarshal in package transport`
+	return f, err
+}
+
+// encodeV2 is a declared compat shim: suppressed.
+func encodeV2(f Frame) ([]byte, error) {
+	//gridmon:nolint wirecode v2 compat shim, JSON is the wire format
+	return json.Marshal(f)
+}

@@ -8,6 +8,13 @@
 // function literals and of same-package named functions passed as
 // handlers. Errors built elsewhere and returned through a variable are
 // out of scope (flow-insensitive).
+//
+// Inside the transport package itself the check goes further: any
+// json.Marshal/json.Unmarshal call is flagged, because the v3 serving
+// path rides the binary codec and reflective JSON creeping into a
+// frame loop costs allocations on every call. The v1/v2 compatibility
+// shims keep their JSON behind an explicit //gridmon:nolint wirecode
+// suppression, so an unsuppressed site is a hot-path regression.
 package wirecode
 
 import (
@@ -20,11 +27,15 @@ import (
 // Analyzer is the wirecode analyzer.
 var Analyzer = &framework.Analyzer{
 	Name: "wirecode",
-	Doc:  "transport v2 handlers must return structured transport.Errf errors, not bare fmt.Errorf/errors.New",
-	Run:  run,
+	Doc: "transport v2 handlers must return structured transport.Errf errors, not bare fmt.Errorf/errors.New; " +
+		"inside package transport, json.Marshal/Unmarshal is flagged off the v1/v2 compat shims (nolint-able)",
+	Run: run,
 }
 
 func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "transport" {
+		checkTransportJSON(pass)
+	}
 	checked := make(map[*ast.FuncDecl]bool)
 	decls := namedFuncs(pass)
 	for _, f := range pass.Files {
@@ -48,6 +59,36 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkTransportJSON flags encoding/json calls in the transport
+// package's own code. The binary v3 codec exists precisely so the
+// serving hot path never pays reflective marshalling; JSON is legal
+// only in the v1/v2 compatibility shims, and those carry an explicit
+// //gridmon:nolint wirecode comment naming themselves as such.
+func checkTransportJSON(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			switch fn.FullName() {
+			case "encoding/json.Marshal", "encoding/json.Unmarshal":
+				pass.Reportf(call.Pos(),
+					"%s in package transport: hot paths ride the binary codec; if this is a v1/v2 compat shim, say so with //gridmon:nolint wirecode", fn.FullName())
+			}
+			return true
+		})
+	}
 }
 
 // namedFuncs indexes the package's function declarations by object, so

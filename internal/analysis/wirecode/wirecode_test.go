@@ -8,5 +8,5 @@ import (
 )
 
 func TestWirecode(t *testing.T) {
-	analysistest.Run(t, "testdata", wirecode.Analyzer, "a")
+	analysistest.Run(t, "testdata", wirecode.Analyzer, "a", "wire")
 }

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCodecRoundTrip: every primitive survives append → decode, in
+// sequence, with the decoder consuming exactly what was written.
+func TestCodecRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 1<<60)
+	b = AppendVarint(b, -42)
+	b = AppendVarint(b, math.MaxInt64)
+	b = AppendFloat64(b, 3.5)
+	b = AppendFloat64(b, math.Inf(-1))
+	b = AppendString(b, "")
+	b = AppendString(b, "grid-α")
+	b = AppendBytes(b, []byte{0, 1, 2})
+	b = append(b, 0x7f)
+
+	d := NewDec(b)
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<60 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -42 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := d.Varint(); v != math.MaxInt64 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := d.Float64(); v != 3.5 {
+		t.Fatalf("float = %v", v)
+	}
+	if v := d.Float64(); !math.IsInf(v, -1) {
+		t.Fatalf("float = %v", v)
+	}
+	if v := d.String(); v != "" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := d.String(); v != "grid-α" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := d.Bytes(); len(v) != 3 || v[2] != 2 {
+		t.Fatalf("bytes = %v", v)
+	}
+	if v := d.Byte(); v != 0x7f {
+		t.Fatalf("byte = %v", v)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("%d bytes left over", d.Len())
+	}
+}
+
+// TestCodecTruncation: reading past the end sets the sticky error and
+// every later read stays zero-valued — no panics, no garbage.
+func TestCodecTruncation(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"cut varint":       {0x80},
+		"cut float":        {1, 2, 3},
+		"string past end":  AppendUvarint(nil, 100),
+		"bytes past end":   append(AppendUvarint(nil, 5), 1, 2),
+		"huge string size": {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	}
+	for name, payload := range cases {
+		d := NewDec(payload)
+		switch name {
+		case "cut float":
+			d.Float64()
+		case "cut varint":
+			d.Uvarint()
+		case "bytes past end":
+			d.Bytes()
+		default:
+			_ = d.String() // vet: String() results must be used
+		}
+		if d.Err() == nil {
+			t.Errorf("%s: no error", name)
+		}
+		if ErrorCode(d.Err()) != CodeBadRequest {
+			t.Errorf("%s: code = %s", name, ErrorCode(d.Err()))
+		}
+		// Sticky: subsequent reads are inert.
+		if v := d.Uvarint(); v != 0 {
+			t.Errorf("%s: read after error = %d", name, v)
+		}
+	}
+}
+
+// TestCodecStringReuse: decoding a string equal to the one already held
+// allocates nothing; a different string replaces it.
+func TestCodecStringReuse(t *testing.T) {
+	payload := AppendString(nil, "stable-key")
+	held := "stable-key"
+	allocs := testing.AllocsPerRun(100, func() {
+		d := NewDec(payload)
+		held = d.StringReuse(held)
+	})
+	if allocs != 0 {
+		t.Errorf("StringReuse on equal value: %.1f allocs/op", allocs)
+	}
+	d := NewDec(AppendString(nil, "fresh"))
+	if got := d.StringReuse(held); got != "fresh" {
+		t.Fatalf("StringReuse = %q", got)
+	}
+}
+
+// TestCodecSeek: Off/Seek support two-pass decodes; seeking back
+// replays the same bytes.
+func TestCodecSeek(t *testing.T) {
+	b := AppendUvarint(nil, 7)
+	b = AppendString(b, "x")
+	d := NewDec(b)
+	mark := d.Off()
+	if d.Uvarint() != 7 {
+		t.Fatal("first pass")
+	}
+	d.Seek(mark)
+	if d.Uvarint() != 7 || d.String() != "x" {
+		t.Fatal("second pass")
+	}
+}

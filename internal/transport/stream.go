@@ -44,6 +44,7 @@ func HandleStream[Req any](s *Server, op string,
 	raw := func(ctx context.Context, body json.RawMessage) (StreamFunc, *Error) {
 		var req Req
 		if len(body) > 0 {
+			//gridmon:nolint wirecode v2 stream requests are JSON by definition
 			if err := json.Unmarshal(body, &req); err != nil {
 				return nil, Errf(CodeBadRequest, "op %q: decoding request: %v", op, err)
 			}
@@ -100,6 +101,7 @@ func (s *Server) serveStream(r *bufio.Reader, w *bufio.Writer, req requestFrame,
 		cancel()
 	}()
 	send := func(v interface{}) error {
+		//gridmon:nolint wirecode v2 stream events are JSON by definition
 		b, err := json.Marshal(v)
 		if err != nil {
 			return Errf(CodeInternal, "op %q: encoding event: %v", req.Op, err)
@@ -141,6 +143,7 @@ type ClientStream struct {
 func (c *Client) StreamV2(ctx context.Context, op string, req interface{}) (*ClientStream, error) {
 	frame := requestFrame{V: 2, Op: op, Stream: true}
 	if req != nil {
+		//gridmon:nolint wirecode StreamV2 speaks the JSON wire generation
 		b, err := json.Marshal(req)
 		if err != nil {
 			return nil, Errf(CodeBadRequest, "op %q: encoding request: %v", op, err)
@@ -220,6 +223,7 @@ func (cs *ClientStream) Recv(v interface{}) error {
 		return &Error{Code: code, Message: rf.Error}
 	}
 	if v != nil && len(rf.Body) > 0 {
+		//gridmon:nolint wirecode StreamV2 speaks the JSON wire generation
 		if err := json.Unmarshal(rf.Body, v); err != nil {
 			return Errf(CodeInternal, "op %q: decoding event: %v", cs.op, err)
 		}

@@ -13,6 +13,7 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -45,6 +46,7 @@ type Response struct {
 
 // WriteFrame writes one length-prefixed JSON message.
 func WriteFrame(w io.Writer, v interface{}) error {
+	//gridmon:nolint wirecode v1/v2 frames carry JSON payloads; v3 bypasses this path
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
@@ -91,6 +93,7 @@ func ReadFrameBuf(r io.Reader, buf *[]byte, v interface{}) error {
 	if _, err := io.ReadFull(r, b); err != nil {
 		return err
 	}
+	//gridmon:nolint wirecode v1/v2 frames carry JSON payloads; v3 bypasses this path
 	return json.Unmarshal(b, v)
 }
 
@@ -103,14 +106,16 @@ type Handler func(Request) Response
 // (Handle method) and typed v2 handlers (the package-level generic
 // Handle function); each incoming frame is routed by its "v" field.
 type Server struct {
-	mu       sync.Mutex
-	handlers map[string]Handler
-	v2       map[string]rawV2Handler
-	streams  map[string]rawStreamHandler
-	ln       net.Listener
-	wg       sync.WaitGroup
-	conns    map[net.Conn]bool
-	closed   bool
+	mu        sync.Mutex
+	handlers  map[string]Handler
+	v2        map[string]rawV2Handler
+	streams   map[string]rawStreamHandler
+	v3        map[string]V3Handler
+	v3streams map[string]v3StreamOpen
+	ln        net.Listener
+	wg        sync.WaitGroup
+	conns     map[net.Conn]bool
+	closed    bool
 	// Concurrent allows handlers to run in parallel; by default calls
 	// are serialized, matching the single-backend daemons being modeled.
 	Concurrent bool
@@ -128,10 +133,12 @@ type Server struct {
 // introspection op registered.
 func NewServer() *Server {
 	s := &Server{
-		handlers: make(map[string]Handler),
-		v2:       make(map[string]rawV2Handler),
-		streams:  make(map[string]rawStreamHandler),
-		conns:    make(map[net.Conn]bool),
+		handlers:  make(map[string]Handler),
+		v2:        make(map[string]rawV2Handler),
+		streams:   make(map[string]rawStreamHandler),
+		v3:        make(map[string]V3Handler),
+		v3streams: make(map[string]v3StreamOpen),
+		conns:     make(map[net.Conn]bool),
 	}
 	Handle(s, "ops.list", func(context.Context, struct{}) (OpsList, error) {
 		return OpsList{Ops: s.Ops()}, nil
@@ -153,22 +160,25 @@ func (s *Server) Ops() []string {
 	defer s.mu.Unlock()
 	seen := make(map[string]bool, len(s.handlers)+len(s.v2)+len(s.streams))
 	out := make([]string, 0, len(s.handlers)+len(s.v2)+len(s.streams))
-	for op := range s.handlers {
-		seen[op] = true
-		out = append(out, op)
-	}
-	for op := range s.v2 {
-		if !seen[op] {
-			seen[op] = true
-			out = append(out, op)
-		}
-	}
-	for op := range s.streams {
-		if !seen[op] {
-			out = append(out, op)
+	for _, ops := range []map[string]bool{opNames(s.handlers), opNames(s.v2), opNames(s.streams), opNames(s.v3), opNames(s.v3streams)} {
+		for op := range ops {
+			if !seen[op] {
+				seen[op] = true
+				out = append(out, op)
+			}
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// opNames projects a handler map to its op-name set (Ops is cold path;
+// the copies keep it generic over the four handler map types).
+func opNames[T any](m map[string]T) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for op := range m {
+		out[op] = true
+	}
 	return out
 }
 
@@ -236,12 +246,21 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// serveConn answers requests on one connection until it closes. Frames
-// carrying "v":2 take the typed v2 path; everything else is served as a
-// v1 request and answered in the v1 Response shape.
+// serveConn answers requests on one connection until it closes. The
+// protocol generation is negotiated once, at accept time: a connection
+// opening with the v3 magic bytes takes the binary pipelined loop (see
+// v3.go); anything else flows into the JSON loop below, where frames
+// carrying "v":2 take the typed v2 path and everything else is served as
+// a v1 request and answered in the v1 Response shape — so v1 and v2
+// clients keep receiving bit-identical bytes.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	if magic, err := r.Peek(4); err == nil && bytes.Equal(magic, v3Magic[:]) {
+		r.Discard(4)
+		s.serveConnV3(conn, r)
+		return
+	}
 	w := bufio.NewWriter(conn)
 	// One grow-only frame buffer per connection: steady request traffic
 	// reads every frame into the same backing array instead of

@@ -166,6 +166,7 @@ func Handle[Req, Resp any](s *Server, op string, fn func(context.Context, Req) (
 	raw := func(ctx context.Context, body json.RawMessage) (json.RawMessage, *Error) {
 		var req Req
 		if len(body) > 0 {
+			//gridmon:nolint wirecode v2 request bodies are JSON by definition
 			if err := json.Unmarshal(body, &req); err != nil {
 				return nil, Errf(CodeBadRequest, "op %q: decoding request: %v", op, err)
 			}
@@ -174,6 +175,7 @@ func Handle[Req, Resp any](s *Server, op string, fn func(context.Context, Req) (
 		if err != nil {
 			return nil, AsError(err)
 		}
+		//gridmon:nolint wirecode v2 response bodies are JSON by definition
 		out, err := json.Marshal(resp)
 		if err != nil {
 			return nil, Errf(CodeInternal, "op %q: encoding response: %v", op, err)
@@ -240,6 +242,7 @@ func v2Failure(e *Error) responseFrame {
 func (c *Client) CallV2(ctx context.Context, op string, req, resp interface{}) error {
 	frame := requestFrame{V: 2, Op: op}
 	if req != nil {
+		//gridmon:nolint wirecode CallV2 speaks the JSON wire generation
 		b, err := json.Marshal(req)
 		if err != nil {
 			return Errf(CodeBadRequest, "op %q: encoding request: %v", op, err)
@@ -333,6 +336,7 @@ func (c *Client) exchange(_ context.Context, frame requestFrame, op string, resp
 		return &Error{Code: code, Message: rf.Error}
 	}
 	if resp != nil && len(rf.Body) > 0 {
+		//gridmon:nolint wirecode CallV2 speaks the JSON wire generation
 		if err := json.Unmarshal(rf.Body, resp); err != nil {
 			return Errf(CodeInternal, "op %q: decoding response: %v", op, err)
 		}

@@ -1,0 +1,402 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the server half of the v3 wire format: length-prefixed
+// binary frames with pipelining. A v3 client opens its connection with a
+// 4-byte magic; the server peeks it at accept time and switches this
+// connection to the binary loop, while any other first bytes flow into
+// the untouched v1/v2 JSON loop — so negotiation is decided once per
+// connection and the JSON generations keep answering bit-identically.
+//
+// Every v3 request frame carries a client-assigned request id. The
+// server dispatches calls concurrently (bounded by maxPipeline per
+// connection) and writes each response as its handler completes —
+// completion order, not arrival order — so one slow call no longer
+// blocks the line. The client demultiplexes by id (see mux.go).
+//
+// Request payload layout (after the 4-byte length envelope):
+//
+//	byte    kind         1=call  2=stream open  3=stream cancel
+//	uvarint id
+//	-- cancel frames end here --
+//	string  op           uvarint length + bytes
+//	byte    flags        bit0: body is JSON
+//	uvarint timeout_ms   0 = no deadline
+//	...     body         the rest of the frame, opaque to this layer
+//
+// Response payload layout:
+//
+//	byte    kind         1=reply  2=stream ack  3=stream event  4=stream end
+//	uvarint id
+//	byte    flags        bit0: body is JSON   bit1: error
+//	-- on error: string code, string message (no body) --
+//	...     body         the rest of the frame
+//
+// Bodies are opaque here: ops with a registered binary handler
+// (HandleV3/HandleStreamV3) decode and encode them with the codec
+// primitives; everything else bridges to the op's registered v2 JSON
+// handler with the JSON flag set, so every op is reachable — and
+// pipelined — over a v3 connection even before it grows a binary codec.
+
+// v3Magic is the preamble a v3 client opens its connection with. Read as
+// a v1/v2 big-endian length prefix it is 1.19 GiB — far beyond MaxFrame —
+// so no JSON client can ever begin a connection with these bytes.
+var v3Magic = [4]byte{'G', 'M', '3', 0x01}
+
+// Request frame kinds.
+const (
+	v3Call   = 1
+	v3Open   = 2
+	v3Cancel = 3
+)
+
+// Response frame kinds.
+const (
+	v3Reply = 1
+	v3Ack   = 2
+	v3Event = 3
+	v3End   = 4
+)
+
+// Frame flags.
+const (
+	v3FlagJSON  = 1 << 0
+	v3FlagError = 1 << 1
+)
+
+// DefaultMaxPipeline bounds how many calls one v3 connection may have
+// dispatched concurrently on the server; past it the read loop stops
+// picking up frames, which backpressures the client through TCP.
+const DefaultMaxPipeline = 64
+
+// V3Handler answers one binary-bodied v3 call: body is the request
+// payload (a view valid only for the duration of the call), and the
+// response payload is appended to out (pooled by the server) and
+// returned. A returned *Error reaches the client with its code intact.
+type V3Handler func(ctx context.Context, body []byte, out []byte) ([]byte, *Error)
+
+// V3Send writes one binary event frame on an open v3 stream: fill
+// appends the frame body to the buffer it is handed (pooled by the
+// server) and returns it.
+type V3Send func(fill func(b []byte) []byte) error
+
+// V3StreamFunc pumps one open v3 stream, calling send once per event
+// frame; returning ends the stream (nil or a context cancellation end it
+// cleanly, anything else reaches the client as a structured end frame).
+type V3StreamFunc func(send V3Send) error
+
+// v3StreamOpen is the stored form of a binary stream handler.
+type v3StreamOpen func(ctx context.Context, body []byte) (V3StreamFunc, *Error)
+
+// HandleV3 registers a binary v3 handler for op, replacing any previous
+// one. Ops without one are still served over v3 through the JSON bridge;
+// a binary handler removes the JSON round-trip from the op's hot path.
+func (s *Server) HandleV3(op string, h V3Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v3[op] = h
+}
+
+// HandleStreamV3 registers a binary v3 stream handler for op, replacing
+// any previous one. open validates the request and attaches sources; the
+// returned V3StreamFunc runs for the stream's lifetime with ctx
+// cancelled when the client cancels or the connection drops.
+func (s *Server) HandleStreamV3(op string, open func(ctx context.Context, body []byte) (V3StreamFunc, *Error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v3streams[op] = open
+}
+
+// v3ConnWriter serializes response frames onto one v3 connection: header
+// and body are written as separate sections under the lock, so handlers
+// build bodies in their own buffers without a final copy.
+type v3ConnWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// writeSplit writes one frame whose payload is hdr followed by body.
+func (cw *v3ConnWriter) writeSplit(hdr, body []byte) error {
+	total := len(hdr) + len(body)
+	if total > MaxFrame {
+		return Errf(CodeInternal, "transport: v3 frame of %d bytes exceeds limit", total)
+	}
+	var l [4]byte
+	l[0] = byte(total >> 24)
+	l[1] = byte(total >> 16)
+	l[2] = byte(total >> 8)
+	l[3] = byte(total)
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if _, err := cw.w.Write(l[:]); err != nil {
+		return err
+	}
+	if _, err := cw.w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := cw.w.Write(body); err != nil {
+			return err
+		}
+	}
+	return cw.w.Flush()
+}
+
+// appendV3RespHeader appends a response frame header for id.
+func appendV3RespHeader(b []byte, kind byte, id uint64, flags byte) []byte {
+	b = append(b, kind)
+	b = AppendUvarint(b, id)
+	return append(b, flags)
+}
+
+// v3Error writes an error response frame for id. extra flags are OR'd
+// into the frame's flag byte alongside the error bit: the JSON flag on
+// an error frame marks "this op exists but only with a JSON body here",
+// which the client turns into ErrNoBinaryCodec and a bridge retry.
+func (cw *v3ConnWriter) v3Error(kind byte, id uint64, extra byte, e *Error) error {
+	hdr := getBuf()
+	defer putBuf(hdr)
+	code := e.Code
+	if code == "" {
+		code = CodeExec
+	}
+	b := appendV3RespHeader(hdr.b, kind, id, v3FlagError|extra)
+	b = AppendString(b, string(code))
+	b = AppendString(b, e.Message)
+	return cw.writeSplit(b, nil)
+}
+
+// serveConnV3 answers pipelined binary frames on one connection until it
+// closes. The magic has already been consumed by serveConn.
+func (s *Server) serveConnV3(conn net.Conn, r *bufio.Reader) {
+	cw := &v3ConnWriter{w: bufio.NewWriter(conn)}
+	// Dispatch goroutines must drain before the connection teardown
+	// returns, so Server.Close keeps its contract of waiting out
+	// in-flight handlers.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	// Open streams by request id, for cancel routing; every one is
+	// cancelled when the read loop exits, however it exits.
+	var streamMu sync.Mutex
+	streams := make(map[uint64]context.CancelFunc)
+	defer func() {
+		streamMu.Lock()
+		for _, cancel := range streams {
+			cancel()
+		}
+		streamMu.Unlock()
+	}()
+	sem := make(chan struct{}, DefaultMaxPipeline)
+	var frameBuf []byte
+	for {
+		payload, err := readFrameInto(r, &frameBuf)
+		if err != nil {
+			return
+		}
+		d := NewDec(payload)
+		kind := d.Byte()
+		id := d.Uvarint()
+		if kind == v3Cancel {
+			if d.Err() != nil {
+				return
+			}
+			streamMu.Lock()
+			if cancel := streams[id]; cancel != nil {
+				cancel()
+			}
+			streamMu.Unlock()
+			continue
+		}
+		op := d.String()
+		flags := d.Byte()
+		timeoutMS := d.Uvarint()
+		if d.Err() != nil || (kind != v3Call && kind != v3Open) {
+			// A malformed frame means the two sides disagree about the
+			// framing itself; nothing sensible can follow on this
+			// connection.
+			return
+		}
+		// The body aliases the read buffer, which the next loop iteration
+		// reuses — copy it into a pooled buffer that the dispatch
+		// goroutine owns and releases.
+		pb := getBuf()
+		pb.b = append(pb.b, d.Rest()...)
+		if kind == v3Open {
+			//gridmon:nolint ctxflow server-side stream root: the client cancels with a wire frame, which the cancel routing above turns into this ctx's cancel
+			ctx, cancel := context.WithCancel(context.Background())
+			streamMu.Lock()
+			streams[id] = cancel
+			streamMu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					streamMu.Lock()
+					delete(streams, id)
+					streamMu.Unlock()
+					cancel()
+				}()
+				s.serveStreamV3(ctx, cw, id, op, flags, pb)
+			}()
+			continue
+		}
+		// Calls dispatch concurrently, each writing its own response as
+		// it completes; sem bounds how far one connection can fan out.
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.dispatchV3(cw, id, op, flags, timeoutMS, pb)
+		}()
+	}
+}
+
+// dispatchV3 runs one v3 call — through the op's binary handler when it
+// has one and the client sent a binary body, otherwise through the v2
+// JSON bridge — and writes the response frame. It owns and releases pb.
+func (s *Server) dispatchV3(cw *v3ConnWriter, id uint64, op string, flags byte, timeoutMS uint64, pb *wireBuf) {
+	defer putBuf(pb)
+	//gridmon:nolint ctxflow server-side root: the caller's deadline arrives on the wire and is re-armed via WithTimeout below
+	ctx := context.Background()
+	if timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	s.mu.Lock()
+	bh := s.v3[op]
+	jh := s.v2[op]
+	s.mu.Unlock()
+	// A binary body must never reach the JSON bridge (the handler would
+	// see garbage): when the op is only registered as JSON here, answer
+	// with the JSON-flagged error that tells the client to retry through
+	// the bridge.
+	var useJSON bool
+	switch {
+	case flags&v3FlagJSON == 0 && bh != nil:
+	case flags&v3FlagJSON == 0 && jh != nil:
+		cw.v3Error(v3Reply, id, v3FlagJSON, Errf(CodeBadRequest, "op %q has no binary codec on this server (retry with a JSON body)", op))
+		return
+	case flags&v3FlagJSON != 0 && jh != nil:
+		useJSON = true
+	default:
+		cw.v3Error(v3Reply, id, 0, Errf(CodeUnknownOp, "unknown op %q (try ops.list)", op))
+		return
+	}
+	if !s.Concurrent {
+		s.callMu.Lock()
+		defer s.callMu.Unlock()
+	}
+	// The deadline may already have passed while queued; don't start
+	// work the client has given up on.
+	if err := ctx.Err(); err != nil {
+		cw.v3Error(v3Reply, id, 0, Errf(CodeDeadline, "op %q: %v", op, err))
+		return
+	}
+	out := getBuf()
+	defer putBuf(out)
+	var respFlags byte
+	var body []byte
+	var herr *Error
+	if useJSON {
+		var jbody json.RawMessage
+		jbody, herr = jh(ctx, json.RawMessage(pb.b))
+		body = jbody
+		respFlags = v3FlagJSON
+	} else {
+		body, herr = bh(ctx, pb.b, out.b)
+		if body != nil {
+			// The handler may have grown the buffer; keep the grown
+			// backing array when it returns to the pool.
+			out.b = body[:0]
+		}
+	}
+	if herr != nil {
+		cw.v3Error(v3Reply, id, 0, herr)
+		return
+	}
+	hdr := getBuf()
+	defer putBuf(hdr)
+	cw.writeSplit(appendV3RespHeader(hdr.b, v3Reply, id, respFlags), body)
+}
+
+// serveStreamV3 runs one v3 stream: ack, event frames, end frame. Unlike
+// a v2 stream it does not own the connection — event frames interleave
+// with other responses under the connection writer — so the client can
+// keep calling while subscribed. It owns and releases pb.
+func (s *Server) serveStreamV3(ctx context.Context, cw *v3ConnWriter, id uint64, op string, flags byte, pb *wireBuf) {
+	s.mu.Lock()
+	bo := s.v3streams[op]
+	jo := s.streams[op]
+	s.mu.Unlock()
+	var run V3StreamFunc
+	var herr *Error
+	var herrFlags byte
+	var respFlags byte
+	switch {
+	case flags&v3FlagJSON == 0 && bo != nil:
+		run, herr = bo(ctx, pb.b)
+	case flags&v3FlagJSON == 0 && jo != nil:
+		// Same rule as dispatchV3: a binary body never bridges to JSON.
+		herrFlags = v3FlagJSON
+		herr = Errf(CodeBadRequest, "stream op %q has no binary codec on this server (retry with a JSON body)", op)
+	case flags&v3FlagJSON != 0 && jo != nil:
+		// The JSON bridge: open through the v2 stream handler and wrap
+		// its send so each event rides a v3 event frame with a JSON body.
+		respFlags = v3FlagJSON
+		var jrun StreamFunc
+		jrun, herr = jo(ctx, json.RawMessage(pb.b))
+		if herr == nil {
+			run = func(send V3Send) error {
+				return jrun(func(v interface{}) error {
+					//gridmon:nolint wirecode v2 JSON bridge: ops without a binary codec ride v3 frames with JSON bodies
+					b, err := json.Marshal(v)
+					if err != nil {
+						return Errf(CodeInternal, "op %q: encoding event: %v", op, err)
+					}
+					return send(func(dst []byte) []byte { return append(dst, b...) })
+				})
+			}
+		}
+	default:
+		herr = Errf(CodeUnknownOp, "no stream op %q registered (try ops.list)", op)
+	}
+	putBuf(pb)
+	if herr != nil {
+		cw.v3Error(v3End, id, herrFlags, herr)
+		return
+	}
+	hdr := getBuf()
+	if err := cw.writeSplit(appendV3RespHeader(hdr.b, v3Ack, id, 0), nil); err != nil {
+		putBuf(hdr)
+		return
+	}
+	putBuf(hdr)
+	send := func(fill func(b []byte) []byte) error {
+		if err := ctx.Err(); err != nil {
+			return AsError(err)
+		}
+		fb := getBuf()
+		defer putBuf(fb)
+		b := appendV3RespHeader(fb.b, v3Event, id, respFlags)
+		b = fill(b)
+		return cw.writeSplit(b, nil)
+	}
+	err := run(send)
+	if e := AsError(err); err != nil && e.Code != CodeCanceled && e.Code != CodeDeadline {
+		cw.v3Error(v3End, id, 0, e)
+		return
+	}
+	eb := getBuf()
+	defer putBuf(eb)
+	cw.writeSplit(appendV3RespHeader(eb.b, v3End, id, 0), nil)
+}

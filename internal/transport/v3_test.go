@@ -1,0 +1,607 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// v3AddServer serves "math.add" with a binary codec (two uvarints in,
+// their sum out) next to the JSON registrations the older generations
+// use, so one server answers every protocol in these tests.
+func v3AddServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	srv.Concurrent = true
+	Handle(srv, "math.add", func(_ context.Context, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	})
+	srv.HandleV3("math.add", func(_ context.Context, body, out []byte) ([]byte, *Error) {
+		d := NewDec(body)
+		a := d.Uvarint()
+		b := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return nil, AsError(err)
+		}
+		return AppendUvarint(out, a+b), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func dialV3(t *testing.T, addr string) *MuxClient {
+	t.Helper()
+	m, err := DialV3(context.Background(), addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func addV3(t *testing.T, m *MuxClient, a, b uint64) (uint64, error) {
+	t.Helper()
+	var sum uint64
+	err := m.CallV3(context.Background(), "math.add",
+		func(buf []byte) []byte {
+			buf = AppendUvarint(buf, a)
+			return AppendUvarint(buf, b)
+		},
+		func(body []byte) error {
+			d := NewDec(body)
+			sum = d.Uvarint()
+			return d.Err()
+		})
+	return sum, err
+}
+
+// TestV3BinaryRoundTrip: a binary-bodied call reaches the binary
+// handler and the answer decodes from the response frame.
+func TestV3BinaryRoundTrip(t *testing.T) {
+	_, addr := v3AddServer(t)
+	m := dialV3(t, addr)
+	sum, err := addV3(t, m, 19, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+// TestV3PipelinedOutOfOrder: with a slow call in flight, a fast call on
+// the same connection completes first — responses are written in
+// completion order, not arrival order.
+func TestV3PipelinedOutOfOrder(t *testing.T) {
+	srv := NewServer()
+	srv.Concurrent = true
+	release := make(chan struct{})
+	srv.HandleV3("slow", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		<-release
+		return append(out, 1), nil
+	})
+	srv.HandleV3("fast", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		return append(out, 2), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+
+	slowDone := make(chan error, 1)
+	go func() {
+		slowDone <- m.CallV3(context.Background(), "slow", nil, nil)
+	}()
+	// The fast call must answer while the slow one is still blocked on
+	// the server. A generous deadline distinguishes pipelining from a
+	// head-of-line stall without being timing-sensitive.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.CallV3(ctx, "fast", nil, nil); err != nil {
+		t.Fatalf("fast call stalled behind the slow one: %v", err)
+	}
+	select {
+	case err := <-slowDone:
+		t.Fatalf("slow call finished early: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV3ConcurrentCalls: many goroutines share one mux connection, each
+// getting its own answer back — no cross-call corruption under load.
+func TestV3ConcurrentCalls(t *testing.T) {
+	_, addr := v3AddServer(t)
+	m := dialV3(t, addr)
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i uint64) {
+			defer wg.Done()
+			sum, err := addV3(t, m, i, 1000)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if sum != i+1000 {
+				errs <- Errf(CodeInternal, "call %d answered %d", i, sum)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestV3JSONBridge: an op with only a JSON registration is still
+// callable — and pipelined — over a v3 connection via CallJSON.
+func TestV3JSONBridge(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "math.add", func(_ context.Context, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+	var resp addResp
+	if err := m.CallJSON(context.Background(), "math.add", addReq{A: 19, B: 23}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sum != 42 {
+		t.Fatalf("sum = %d", resp.Sum)
+	}
+	// Unknown ops keep their structured code through the bridge.
+	if err := m.CallJSON(context.Background(), "no.such.op", nil, nil); ErrorCode(err) != CodeUnknownOp {
+		t.Fatalf("unknown op err = %v", err)
+	}
+}
+
+// TestV3NoBinaryCodec: a binary-bodied call against an op registered
+// only as JSON never reaches the JSON handler; it fails with the typed
+// marker the client uses to fall back to the bridge.
+func TestV3NoBinaryCodec(t *testing.T) {
+	srv := NewServer()
+	Handle(srv, "math.add", func(_ context.Context, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+	_, cerr := addV3(t, m, 1, 2)
+	if !errors.Is(cerr, ErrNoBinaryCodec) {
+		t.Fatalf("want ErrNoBinaryCodec, got %v", cerr)
+	}
+	if ErrorCode(cerr) != CodeBadRequest {
+		t.Fatalf("code = %s, want %s", ErrorCode(cerr), CodeBadRequest)
+	}
+	// A truly unknown op is distinguishable from a JSON-only one.
+	err = m.CallV3(context.Background(), "no.such.op", nil, nil)
+	if errors.Is(err, ErrNoBinaryCodec) || ErrorCode(err) != CodeUnknownOp {
+		t.Fatalf("unknown op err = %v", err)
+	}
+}
+
+// TestV3ErrorCodePropagation: a binary handler's structured error
+// arrives with its code intact, like every earlier generation.
+func TestV3ErrorCodePropagation(t *testing.T) {
+	srv := NewServer()
+	srv.HandleV3("fail", func(context.Context, []byte, []byte) ([]byte, *Error) {
+		return nil, Errf(CodeUnavailable, "deliberately unavailable")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+	err = m.CallV3(context.Background(), "fail", nil, nil)
+	if ErrorCode(err) != CodeUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestV3AbandonedCallSparesSiblings: a call whose context expires is
+// abandoned without tearing the connection — a sibling call in flight
+// and the next call both succeed on the same mux.
+func TestV3AbandonedCallSparesSiblings(t *testing.T) {
+	srv := NewServer()
+	srv.Concurrent = true
+	release := make(chan struct{})
+	// The handler ignores its context so the client's deadline always
+	// fires first: the call is abandoned client-side and the late reply
+	// must be dropped without disturbing the connection.
+	srv.HandleV3("stall", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		<-release
+		return out, nil
+	})
+	srv.HandleV3("quick", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		return out, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err = m.CallV3(ctx, "stall", nil, nil)
+	if ErrorCode(err) != CodeDeadline {
+		t.Fatalf("stalled call err = %v, want %s", err, CodeDeadline)
+	}
+	close(release)
+	// The connection survived the abandonment.
+	if err := m.CallV3(context.Background(), "quick", nil, nil); err != nil {
+		t.Fatalf("call after abandoned sibling: %v", err)
+	}
+}
+
+// TestV3MalformedFrameClosesConn: a frame the server cannot parse means
+// the two sides disagree about framing; the server hangs up rather than
+// guessing at a resync.
+func TestV3MalformedFrameClosesConn(t *testing.T) {
+	_, addr := v3AddServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(v3Magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	// A one-byte frame: kind only, no id — malformed.
+	if _, err := conn.Write([]byte{0, 0, 0, 1, v3Call}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after malformed frame = %v, want EOF", err)
+	}
+}
+
+// TestV3MixedGenerationsSameServer: one server answers v1, v2 and v3
+// clients, each over its own connection, with the same results — the
+// magic-peek negotiation never disturbs the JSON generations.
+func TestV3MixedGenerationsSameServer(t *testing.T) {
+	srv, addr := v3AddServer(t)
+	srv.Handle("echo", func(req Request) Response {
+		return Response{OK: true, Payload: req.Params["msg"]}
+	})
+
+	c := dialV2(t, addr)
+	if got, err := c.Call("echo", map[string]string{"msg": "v1"}); err != nil || got != "v1" {
+		t.Fatalf("v1 call = %q, %v", got, err)
+	}
+	var resp addResp
+	if err := c.CallV2(context.Background(), "math.add", addReq{A: 2, B: 3}, &resp); err != nil || resp.Sum != 5 {
+		t.Fatalf("v2 call = %+v, %v", resp, err)
+	}
+	m := dialV3(t, addr)
+	if sum, err := addV3(t, m, 2, 3); err != nil || sum != 5 {
+		t.Fatalf("v3 call = %d, %v", sum, err)
+	}
+}
+
+// v3TickServer serves a binary "ticks" stream: req is a uvarint count
+// (0 = run until cancelled), each event frame carries the tick number.
+func v3TickServer(t *testing.T) string {
+	t.Helper()
+	srv := NewServer()
+	srv.HandleStreamV3("ticks", func(ctx context.Context, body []byte) (V3StreamFunc, *Error) {
+		d := NewDec(body)
+		n := d.Uvarint()
+		if err := d.Err(); err != nil {
+			return nil, AsError(err)
+		}
+		if n == 99 {
+			return nil, Errf(CodeUnavailable, "ticks are off today")
+		}
+		run := func(send V3Send) error {
+			for i := uint64(0); n == 0 || i < n; i++ {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				i := i
+				if err := send(func(b []byte) []byte { return AppendUvarint(b, i) }); err != nil {
+					return err
+				}
+				if n == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			return nil
+		}
+		return run, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr
+}
+
+// TestV3StreamDelivery: a finite binary stream delivers every event in
+// order and ends with io.EOF.
+func TestV3StreamDelivery(t *testing.T) {
+	m := dialV3(t, v3TickServer(t))
+	ms, err := m.OpenStreamV3(context.Background(), "ticks",
+		func(b []byte) []byte { return AppendUvarint(b, 3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for {
+		err := ms.Recv(func(_ byte, body []byte) error {
+			d := NewDec(body)
+			got = append(got, d.Uvarint())
+			return d.Err()
+		})
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("ticks = %v", got)
+	}
+}
+
+// TestV3StreamSetupError: a failing open returns the structured error
+// from OpenStreamV3 itself; nothing is left registered.
+func TestV3StreamSetupError(t *testing.T) {
+	m := dialV3(t, v3TickServer(t))
+	_, err := m.OpenStreamV3(context.Background(), "ticks",
+		func(b []byte) []byte { return AppendUvarint(b, 99) })
+	if ErrorCode(err) != CodeUnavailable {
+		t.Fatalf("setup err = %v", err)
+	}
+	// The connection is fine for the next stream.
+	ms, err := m.OpenStreamV3(context.Background(), "ticks",
+		func(b []byte) []byte { return AppendUvarint(b, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Cancel()
+}
+
+// TestV3StreamCancel: cancelling an endless stream ends it cleanly —
+// Recv observes the end frame, never a hang.
+func TestV3StreamCancel(t *testing.T) {
+	m := dialV3(t, v3TickServer(t))
+	ms, err := m.OpenStreamV3(context.Background(), "ticks",
+		func(b []byte) []byte { return AppendUvarint(b, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take a couple of events, then hang up.
+	for i := 0; i < 2; i++ {
+		if err := ms.Recv(func(byte, []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	done := make(chan error, 1)
+	go func() {
+		for {
+			if err := ms.Recv(func(byte, []byte) error { return nil }); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("after cancel, Recv = %v, want EOF", err)
+		}
+	case <-deadline:
+		t.Fatal("stream did not end after cancel")
+	}
+}
+
+// TestV3StreamNoBinaryCodec: a binary open against a JSON-only stream
+// op fails with the typed marker instead of feeding the JSON handler
+// garbage.
+func TestV3StreamNoBinaryCodec(t *testing.T) {
+	m := dialV3(t, streamServer(t)) // JSON "ticks" registrations only
+	_, err := m.OpenStreamV3(context.Background(), "ticks",
+		func(b []byte) []byte { return AppendUvarint(b, 3) })
+	if !errors.Is(err, ErrNoBinaryCodec) {
+		t.Fatalf("want ErrNoBinaryCodec, got %v", err)
+	}
+	_, err = m.OpenStreamV3(context.Background(), "no.such.stream", nil)
+	if errors.Is(err, ErrNoBinaryCodec) || ErrorCode(err) != CodeUnknownOp {
+		t.Fatalf("unknown stream err = %v", err)
+	}
+}
+
+// TestV3StalledStreamDoesNotBlockCalls: the demux loop must never park
+// on a stream whose consumer stopped receiving — call replies demux
+// regardless (a blocked loop was a head-of-line deadlock for any
+// goroutine interleaving Recv with calls), and once the consumer has
+// fallen maxStreamInbox frames behind, the stream alone dies with
+// CodeOverloaded while the connection stays usable.
+func TestV3StalledStreamDoesNotBlockCalls(t *testing.T) {
+	srv := NewServer()
+	srv.Concurrent = true
+	srv.HandleV3("ping", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		return append(out, 'p'), nil
+	})
+	srv.HandleStreamV3("flood", func(ctx context.Context, _ []byte) (V3StreamFunc, *Error) {
+		return func(send V3Send) error {
+			for i := uint64(0); ; i++ {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				i := i
+				if err := send(func(b []byte) []byte { return AppendUvarint(b, i) }); err != nil {
+					return err
+				}
+			}
+		}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+	ms, err := m.OpenStreamV3(context.Background(), "flood", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server floods events nobody receives; every call must still
+	// answer inside its deadline.
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := m.CallV3(ctx, "ping", nil, nil)
+		cancel()
+		if err != nil {
+			t.Fatalf("call %d alongside a stalled stream: %v", i, err)
+		}
+	}
+	// The abandoned consumer finds its frames up to the inbox bound and
+	// then the typed overflow error — never a hang, never a conn error.
+	var streamErr error
+	for i := 0; i <= maxStreamInbox; i++ {
+		if streamErr = ms.Recv(func(byte, []byte) error { return nil }); streamErr != nil {
+			break
+		}
+	}
+	if ErrorCode(streamErr) != CodeOverloaded {
+		t.Fatalf("stalled stream err = %v, want CodeOverloaded", streamErr)
+	}
+	// The connection survived its stream's death.
+	if err := m.CallV3(context.Background(), "ping", nil, nil); err != nil {
+		t.Fatalf("call after stream overflow: %v", err)
+	}
+}
+
+// TestV3CallsInterleaveWithStream: unlike a v2 stream, an open v3
+// stream does not dedicate the connection — calls keep answering on the
+// same mux while events flow.
+func TestV3CallsInterleaveWithStream(t *testing.T) {
+	srv := NewServer()
+	srv.Concurrent = true
+	srv.HandleV3("ping", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		return append(out, 'p'), nil
+	})
+	srv.HandleStreamV3("ticks", func(ctx context.Context, _ []byte) (V3StreamFunc, *Error) {
+		return func(send V3Send) error {
+			for i := uint64(0); ; i++ {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+				i := i
+				if err := send(func(b []byte) []byte { return AppendUvarint(b, i) }); err != nil {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	m := dialV3(t, addr)
+	ms, err := m.OpenStreamV3(context.Background(), "ticks", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Cancel()
+	for i := 0; i < 5; i++ {
+		if err := ms.Recv(func(byte, []byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CallV3(context.Background(), "ping", nil, nil); err != nil {
+			t.Fatalf("call %d alongside stream: %v", i, err)
+		}
+	}
+}
+
+// TestV3ServerCloseFailsInFlight: closing the server fails a pending v3
+// call with a connection error instead of hanging the caller, while
+// Close itself waits out the running handler (the v2 contract).
+func TestV3ServerCloseFailsInFlight(t *testing.T) {
+	srv := NewServer()
+	srv.Concurrent = true
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.HandleV3("stall", func(_ context.Context, _, out []byte) ([]byte, *Error) {
+		close(entered)
+		<-release
+		return out, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dialV3(t, addr)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.CallV3(context.Background(), "stall", nil, nil)
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	// The connection dies with Close, so the pending call fails promptly
+	// even though the handler is still running.
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call against a closed server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung through server close")
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close did not return after the handler finished")
+	}
+}

@@ -165,6 +165,24 @@ func (s *Stream) takeLag() (uint64, bool) {
 	return n, true
 }
 
+// tryNext is Next's non-blocking form, used by the v3 subscribe pump to
+// coalesce already-buffered events into one batched frame. It returns a
+// pending lag report (dropped > 0) or a buffered event (ok, dropped 0);
+// ok is false when nothing is immediately available — including when
+// only the terminal error remains, which stays with the blocking Next so
+// termination is observed in exactly one place.
+func (s *Stream) tryNext() (Event, uint64, bool) {
+	if n, lagged := s.takeLag(); lagged {
+		return Event{}, n, true
+	}
+	select {
+	case ev := <-s.ch:
+		return ev, 0, true
+	default:
+		return Event{}, 0, false
+	}
+}
+
 // Next returns the next event. When the consumer has lagged and events
 // were dropped since the previous call, Next first returns a *LagError
 // carrying the drop count (errors.Is(err, ErrLagged)), then resumes

@@ -390,6 +390,7 @@ func (g *Grid) serveSubscribe(srv *transport.Server) { ServeSubscribe(srv, g) }
 // serving-side source failure ends the client's stream with the
 // structured error).
 func ServeSubscribe(srv *TransportServer, source Subscriber) {
+	serveSubscribeV3(srv, source)
 	transport.HandleStream(srv, "grid.subscribe",
 		func(ctx context.Context, sub Subscription) (transport.StreamFunc, error) {
 			st, err := source.Subscribe(ctx, sub)

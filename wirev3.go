@@ -1,0 +1,468 @@
+package gridmon
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// This file is the typed record section of the v3 wire format: binary
+// encode/decode for the public request/response shapes (Query,
+// ResultSet, Record, Work, Event, Subscription), composed from the
+// transport codec primitives. The transport layer carries bodies as
+// opaque bytes, so the codecs live here, next to the types they encode —
+// the root package owns the types and the transport package cannot
+// import it.
+//
+// Every codec comes in append/decode-into pairs: encoders extend a
+// caller-owned []byte, decoders write into an existing value reusing its
+// allocations — record slices keep their backing arrays, field maps keep
+// their entries, and strings survive unchanged when the incoming bytes
+// compare equal (Dec.StringReuse) — so a steady-state round trip over
+// unchanging data allocates nothing (see BenchmarkWireQueryRoundTripV3).
+//
+// Nil-ness is preserved exactly as the JSON codecs preserve it, so a v3
+// answer is reflect.DeepEqual to the v2 answer for the same request:
+// slices whose JSON tag lacks omitempty (ResultSet.Records,
+// Event.Records) distinguish nil from empty on the wire (count+1
+// encoding, 0 = nil); omitempty slices and maps (Query.Attrs,
+// Record.Fields, ResultSet.Branches) decode empty as nil, which is what
+// their JSON absence decodes to.
+
+// appendWireQuery appends q's binary encoding to b.
+func appendWireQuery(b []byte, q Query) []byte {
+	b = transport.AppendString(b, string(q.System))
+	b = transport.AppendString(b, string(q.Role))
+	b = transport.AppendString(b, q.Host)
+	b = transport.AppendString(b, q.Expr)
+	return appendWireStrings(b, q.Attrs)
+}
+
+// decodeWireQueryInto decodes a Query into q, reusing its allocations.
+func decodeWireQueryInto(d *transport.Dec, q *Query) {
+	q.System = System(d.StringReuse(string(q.System)))
+	q.Role = Role(d.StringReuse(string(q.Role)))
+	q.Host = d.StringReuse(q.Host)
+	q.Expr = d.StringReuse(q.Expr)
+	q.Attrs = decodeWireStringsInto(d, q.Attrs)
+}
+
+// appendWireStrings appends an omitempty-style string slice (nil and
+// empty both encode as count 0 and decode as nil, matching JSON
+// omitempty round-trip behavior).
+func appendWireStrings(b []byte, ss []string) []byte {
+	b = transport.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = transport.AppendString(b, s)
+	}
+	return b
+}
+
+// decodeWireStringsInto decodes a string slice into old's storage.
+func decodeWireStringsInto(d *transport.Dec, old []string) []string {
+	n := int(d.Uvarint())
+	if n == 0 || d.Err() != nil {
+		return nil
+	}
+	var out []string
+	if cap(old) >= n {
+		out = old[:n]
+	} else {
+		out = make([]string, n)
+	}
+	for i := range out {
+		out[i] = d.StringReuse(out[i])
+	}
+	return out
+}
+
+// appendWireWork appends w's binary encoding: the float64 invocation
+// count as fixed bits, then the nine integer counters as varints. Every
+// Work field crosses the wire; a new counter must be added here and in
+// decodeWireWorkInto (the wire_test.go round-trip test fails loudly on a
+// field this codec misses).
+func appendWireWork(b []byte, w *Work) []byte {
+	b = transport.AppendFloat64(b, w.CollectorInvocations)
+	b = transport.AppendVarint(b, int64(w.RecordsVisited))
+	b = transport.AppendVarint(b, int64(w.RecordsReturned))
+	b = transport.AppendVarint(b, int64(w.Subqueries))
+	b = transport.AppendVarint(b, int64(w.ThreadSpawns))
+	b = transport.AppendVarint(b, int64(w.ResponseBytes))
+	b = transport.AppendVarint(b, int64(w.IndexHits))
+	b = transport.AppendVarint(b, int64(w.ScanFallbacks))
+	b = transport.AppendVarint(b, int64(w.CacheHits))
+	b = transport.AppendVarint(b, int64(w.CacheMisses))
+	return b
+}
+
+// decodeWireWorkInto decodes a Work into w.
+func decodeWireWorkInto(d *transport.Dec, w *Work) {
+	w.CollectorInvocations = d.Float64()
+	w.RecordsVisited = int(d.Varint())
+	w.RecordsReturned = int(d.Varint())
+	w.Subqueries = int(d.Varint())
+	w.ThreadSpawns = int(d.Varint())
+	w.ResponseBytes = int(d.Varint())
+	w.IndexHits = int(d.Varint())
+	w.ScanFallbacks = int(d.Varint())
+	w.CacheHits = int(d.Varint())
+	w.CacheMisses = int(d.Varint())
+}
+
+// appendWireRecord appends one record: key, then field count and
+// key/value pairs. Field iteration order is unspecified — record
+// equality is map equality, which the decoder reconstructs.
+func appendWireRecord(b []byte, r *Record) []byte {
+	b = transport.AppendString(b, r.Key)
+	b = transport.AppendUvarint(b, uint64(len(r.Fields)))
+	for k, v := range r.Fields {
+		b = transport.AppendString(b, k)
+		b = transport.AppendString(b, v)
+	}
+	return b
+}
+
+// decodeWireRecordInto decodes one record into rec, reusing its Fields
+// map. The fast path updates the existing map in place, allocating only
+// for keys or values that actually changed; when stale keys from a
+// previous decode would survive (len mismatch after the merge), the
+// section is decoded again into a fresh map.
+func decodeWireRecordInto(d *transport.Dec, rec *Record) {
+	rec.Key = d.StringReuse(rec.Key)
+	nf := int(d.Uvarint())
+	if nf == 0 || d.Err() != nil {
+		// JSON omitempty: an empty Fields map crosses the wire as absent
+		// and decodes as nil.
+		rec.Fields = nil
+		return
+	}
+	m := rec.Fields
+	if m == nil {
+		m = make(map[string]string, nf)
+		rec.Fields = m
+	}
+	mark := d.Off()
+	for i := 0; i < nf; i++ {
+		k := d.Bytes()
+		v := d.Bytes()
+		// Both the lookup and the insert below are allocation-free when
+		// the key/value already match (the compiler elides the []byte ->
+		// string conversions in map index expressions and comparisons).
+		if old, ok := m[string(k)]; !ok || old != string(v) {
+			m[string(k)] = string(v)
+		}
+	}
+	if d.Err() == nil && len(m) != nf {
+		// A previous decode left keys this record no longer has (or the
+		// frame repeated a key); rebuild from a clean map.
+		m = make(map[string]string, nf)
+		d.Seek(mark)
+		for i := 0; i < nf; i++ {
+			k := d.String()
+			m[k] = d.String()
+		}
+		rec.Fields = m
+	}
+}
+
+// appendWireRecords appends a record slice, preserving nil-ness (the
+// records JSON tag has no omitempty, so nil and empty are distinct on
+// the v2 wire too): count+1 for a non-nil slice, 0 for nil.
+func appendWireRecords(b []byte, recs []Record) []byte {
+	if recs == nil {
+		return transport.AppendUvarint(b, 0)
+	}
+	b = transport.AppendUvarint(b, uint64(len(recs))+1)
+	for i := range recs {
+		b = appendWireRecord(b, &recs[i])
+	}
+	return b
+}
+
+// decodeWireRecordsInto decodes a record slice into old's storage,
+// reusing its entries (and their field maps) index for index.
+func decodeWireRecordsInto(d *transport.Dec, old []Record) []Record {
+	n1 := d.Uvarint()
+	if n1 == 0 || d.Err() != nil {
+		return nil
+	}
+	n := int(n1 - 1)
+	if n == 0 {
+		// Present but empty ([] in JSON, distinct from null): never nil,
+		// even when there is no storage to reuse.
+		if old == nil {
+			return []Record{}
+		}
+		return old[:0]
+	}
+	var out []Record
+	if cap(old) >= n {
+		out = old[:n]
+	} else {
+		out = make([]Record, n)
+		copy(out, old)
+	}
+	for i := range out {
+		decodeWireRecordInto(d, &out[i])
+	}
+	return out
+}
+
+// appendWireResultSet appends rs's binary encoding to b.
+func appendWireResultSet(b []byte, rs *ResultSet) []byte {
+	b = transport.AppendString(b, string(rs.System))
+	b = transport.AppendString(b, string(rs.Role))
+	b = transport.AppendString(b, rs.Host)
+	b = appendWireRecords(b, rs.Records)
+	b = appendWireWork(b, &rs.Work)
+	b = transport.AppendVarint(b, int64(rs.Elapsed))
+	var partial byte
+	if rs.Partial {
+		partial = 1
+	}
+	b = append(b, partial)
+	b = transport.AppendUvarint(b, uint64(len(rs.Branches)))
+	for i := range rs.Branches {
+		be := &rs.Branches[i]
+		b = transport.AppendVarint(b, int64(be.Shard))
+		b = transport.AppendString(b, be.Addr)
+		b = transport.AppendString(b, string(be.Code))
+		b = transport.AppendString(b, be.Message)
+	}
+	return b
+}
+
+// decodeWireResultSetInto decodes a ResultSet into rs, reusing its
+// allocations. Every field is written, so a reused rs carries nothing
+// over from its previous decode.
+func decodeWireResultSetInto(d *transport.Dec, rs *ResultSet) {
+	rs.System = System(d.StringReuse(string(rs.System)))
+	rs.Role = Role(d.StringReuse(string(rs.Role)))
+	rs.Host = d.StringReuse(rs.Host)
+	rs.Records = decodeWireRecordsInto(d, rs.Records)
+	decodeWireWorkInto(d, &rs.Work)
+	rs.Elapsed = time.Duration(d.Varint())
+	rs.Partial = d.Byte() == 1
+	nb := int(d.Uvarint())
+	if nb == 0 || d.Err() != nil {
+		rs.Branches = nil
+		return
+	}
+	var branches []BranchError
+	if cap(rs.Branches) >= nb {
+		branches = rs.Branches[:nb]
+	} else {
+		branches = make([]BranchError, nb)
+	}
+	for i := range branches {
+		be := &branches[i]
+		be.Shard = int(d.Varint())
+		be.Addr = d.StringReuse(be.Addr)
+		be.Code = ErrorCode(d.StringReuse(string(be.Code)))
+		be.Message = d.StringReuse(be.Message)
+	}
+	rs.Branches = branches
+}
+
+// appendWireEvent appends ev's binary encoding to b.
+func appendWireEvent(b []byte, ev *Event) []byte {
+	b = transport.AppendUvarint(b, ev.Seq)
+	b = transport.AppendFloat64(b, ev.Time)
+	b = transport.AppendString(b, string(ev.Kind))
+	b = appendWireRecords(b, ev.Records)
+	return appendWireWork(b, &ev.Work)
+}
+
+// decodeWireEventInto decodes an Event into ev, reusing its allocations.
+func decodeWireEventInto(d *transport.Dec, ev *Event) {
+	ev.Seq = d.Uvarint()
+	ev.Time = d.Float64()
+	ev.Kind = EventKind(d.StringReuse(string(ev.Kind)))
+	ev.Records = decodeWireRecordsInto(d, ev.Records)
+	decodeWireWorkInto(d, &ev.Work)
+}
+
+// appendWireSubscription appends sub's binary encoding to b.
+func appendWireSubscription(b []byte, sub Subscription) []byte {
+	b = transport.AppendString(b, string(sub.System))
+	b = transport.AppendString(b, string(sub.Role))
+	b = transport.AppendString(b, sub.Host)
+	b = transport.AppendString(b, sub.Expr)
+	b = appendWireStrings(b, sub.Attrs)
+	b = transport.AppendFloat64(b, sub.PollEvery)
+	return transport.AppendVarint(b, int64(sub.Buffer))
+}
+
+// decodeWireSubscriptionInto decodes a Subscription into sub.
+func decodeWireSubscriptionInto(d *transport.Dec, sub *Subscription) {
+	sub.System = System(d.String())
+	sub.Role = Role(d.String())
+	sub.Host = d.String()
+	sub.Expr = d.String()
+	sub.Attrs = decodeWireStringsInto(d, sub.Attrs)
+	sub.PollEvery = d.Float64()
+	sub.Buffer = int(d.Varint())
+}
+
+// The batched event frame body of a v3 grid.subscribe stream: a uvarint
+// entry count, then that many tagged entries. The subscribe pump
+// coalesces up to maxEventBatch pending entries per flush (one blocking
+// wait, then whatever is immediately available), preserving Seq ordering
+// and the position of lag reports in the sequence.
+const (
+	wireEntryEvent  = 0 // an Event (appendWireEvent encoding)
+	wireEntryLag    = 1 // uvarint drop count from the serving stream
+	wireEntryBuffer = 2 // uvarint effective buffer bound (preamble, first frame only)
+)
+
+// maxEventBatch bounds how many entries one v3 event frame coalesces;
+// maxEventBatchBytes additionally bounds the encoded batch, so a backlog
+// of large events flushes as several moderate frames rather than one
+// giant one — keeping time-to-first-delivery low and bounding how much a
+// mid-frame connection loss can take down with it. A single oversized
+// event still ships alone (the cap is checked between entries, never
+// splitting one).
+const (
+	maxEventBatch      = 32
+	maxEventBatchBytes = 1 << 10
+)
+
+// ServeQueryV3 registers the binary v3 grid.query codec for source on
+// srv: requests decode straight from the frame, answers encode straight
+// into the server's pooled response buffer — no intermediate JSON. The
+// JSON grid.query handler registered alongside it keeps serving v1/v2
+// clients and the v3 JSON bridge.
+func ServeQueryV3(srv *TransportServer, source Querier) {
+	srv.HandleV3("grid.query", func(ctx context.Context, body []byte, out []byte) ([]byte, *transport.Error) {
+		var q Query
+		d := transport.NewDec(body)
+		decodeWireQueryInto(&d, &q)
+		if err := d.Err(); err != nil {
+			return nil, transport.Errf(transport.CodeBadRequest, "grid.query: %v", err)
+		}
+		rs, err := source.Query(ctx, q)
+		if err != nil {
+			return nil, transport.AsError(err)
+		}
+		return appendWireResultSet(out, rs), nil
+	})
+}
+
+// serveSubscribeV3 registers the binary v3 grid.subscribe stream for
+// source on srv: the request decodes from the frame, and events are
+// delivered as batched binary frames — up to maxEventBatch entries per
+// flush under fan-out — instead of one JSON frame per event. Lag
+// reports and the buffer preamble ride the same entry stream, so
+// ordering and Dropped() accounting match the v2 path exactly.
+func serveSubscribeV3(srv *TransportServer, source Subscriber) {
+	srv.HandleStreamV3("grid.subscribe", func(ctx context.Context, body []byte) (transport.V3StreamFunc, *transport.Error) {
+		var sub Subscription
+		d := transport.NewDec(body)
+		decodeWireSubscriptionInto(&d, &sub)
+		if err := d.Err(); err != nil {
+			return nil, transport.Errf(transport.CodeBadRequest, "grid.subscribe: %v", err)
+		}
+		st, err := source.Subscribe(ctx, sub)
+		if err != nil {
+			return nil, transport.AsError(err)
+		}
+		run := func(send transport.V3Send) error {
+			defer st.Close()
+			// The preamble carries the serving grid's effective buffer
+			// bound, as the v2 path's first wireEvent frame does.
+			serr := send(func(b []byte) []byte {
+				b = transport.AppendUvarint(b, 1)
+				b = append(b, wireEntryBuffer)
+				return transport.AppendUvarint(b, uint64(st.Buffer()))
+			})
+			if serr != nil {
+				return serr
+			}
+			// scratch holds the encoded entries of the batch being
+			// assembled; it grows once and is reused per flush.
+			scratch := make([]byte, 0, 1024)
+			for {
+				// Block for the first entry, then coalesce whatever is
+				// already waiting, up to the batch bound.
+				count := 0
+				scratch = scratch[:0]
+				ev, err := st.Next(ctx)
+				switch {
+				case err == nil:
+					scratch = append(scratch, wireEntryEvent)
+					scratch = appendWireEvent(scratch, &ev)
+					count++
+				default:
+					var lag *LagError
+					if errors.As(err, &lag) {
+						scratch = append(scratch, wireEntryLag)
+						scratch = transport.AppendUvarint(scratch, lag.Dropped)
+						count++
+						break
+					}
+					if errors.Is(err, context.Canceled) || errors.Is(err, ErrStreamClosed) {
+						return nil
+					}
+					return err
+				}
+				for count < maxEventBatch && len(scratch) < maxEventBatchBytes {
+					ev, dropped, ok := st.tryNext()
+					if !ok {
+						break
+					}
+					if dropped > 0 {
+						scratch = append(scratch, wireEntryLag)
+						scratch = transport.AppendUvarint(scratch, dropped)
+					} else {
+						scratch = append(scratch, wireEntryEvent)
+						scratch = appendWireEvent(scratch, &ev)
+					}
+					count++
+				}
+				batch := scratch
+				n := count
+				if serr := send(func(b []byte) []byte {
+					b = transport.AppendUvarint(b, uint64(n))
+					return append(b, batch...)
+				}); serr != nil {
+					return serr
+				}
+			}
+		}
+		return run, nil
+	})
+}
+
+// decodeWireBatch decodes one batched event frame body, dispatching each
+// entry: events to emit, lag counts to lag, the preamble bound to
+// buffer. Any callback may be nil to ignore that entry kind.
+func decodeWireBatch(body []byte, emit func(Event), lag func(uint64), buffer func(int)) error {
+	d := transport.NewDec(body)
+	n := int(d.Uvarint())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		switch tag := d.Byte(); tag {
+		case wireEntryEvent:
+			var ev Event
+			decodeWireEventInto(&d, &ev)
+			if d.Err() == nil && emit != nil {
+				emit(ev)
+			}
+		case wireEntryLag:
+			dropped := d.Uvarint()
+			if d.Err() == nil && lag != nil {
+				lag(dropped)
+			}
+		case wireEntryBuffer:
+			bound := d.Uvarint()
+			if d.Err() == nil && buffer != nil {
+				buffer(int(bound))
+			}
+		default:
+			return transport.Errf(transport.CodeProtocol,
+				"grid.subscribe: unknown batch entry tag %d", tag)
+		}
+	}
+	return d.Err()
+}

@@ -1,0 +1,213 @@
+package gridmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// The round-trip benchmarks measure the v3 codec's end-to-end cost for
+// the two hot exchanges: a grid.query request/answer pair and a batched
+// event flush fanned out to 64 subscribers. Each has a JSON twin so the
+// generation gap stays visible in the recorded BENCH_*.json trail. The
+// steady-state binary round trip over unchanging data must allocate
+// (almost) nothing — TestWireQueryRoundTripAllocs pins that at <=2
+// allocs/op.
+
+// benchQuery is a realistic aggregate query.
+var benchQuery = Query{
+	System: RGMA,
+	Role:   RoleInformationServer,
+	Expr:   "SELECT host, metric, value FROM siteinfo WHERE value >= 50",
+	Attrs:  []string{"host", "metric", "value"},
+}
+
+// benchResultSet builds an answer the size a site-wide aggregate query
+// returns: 18 records of 3 fields each, with full work accounting.
+func benchResultSet() *ResultSet {
+	rs := &ResultSet{
+		System: RGMA,
+		Role:   RoleInformationServer,
+		Host:   "lucky3",
+		Work:   fullWork(),
+	}
+	for i := 0; i < 18; i++ {
+		rs.Records = append(rs.Records, Record{
+			Key: fmt.Sprintf("lucky%d/cpu", i),
+			Fields: map[string]string{
+				"host":   fmt.Sprintf("lucky%d", i),
+				"metric": "CpuLoad",
+				"value":  "62.5",
+			},
+		})
+	}
+	return rs
+}
+
+// wireQueryRoundTripV3 is one full exchange on the binary codec:
+// request encode -> request decode -> answer encode -> answer decode,
+// every buffer and target reused the way the client and server loops
+// reuse theirs.
+func wireQueryRoundTripV3(reqBuf, respBuf []byte, rs *ResultSet, gotQ *Query, gotRS *ResultSet) ([]byte, []byte, error) {
+	reqBuf = appendWireQuery(reqBuf[:0], benchQuery)
+	d := transport.NewDec(reqBuf)
+	decodeWireQueryInto(&d, gotQ)
+	if err := d.Err(); err != nil {
+		return reqBuf, respBuf, err
+	}
+	respBuf = appendWireResultSet(respBuf[:0], rs)
+	d = transport.NewDec(respBuf)
+	decodeWireResultSetInto(&d, gotRS)
+	return reqBuf, respBuf, d.Err()
+}
+
+func BenchmarkWireQueryRoundTripV3(b *testing.B) {
+	rs := benchResultSet()
+	var reqBuf, respBuf []byte
+	var gotQ Query
+	var gotRS ResultSet
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf, respBuf, err = wireQueryRoundTripV3(reqBuf, respBuf, rs, &gotQ, &gotRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(gotRS.Records) != len(rs.Records) {
+		b.Fatalf("decoded %d records", len(gotRS.Records))
+	}
+}
+
+func BenchmarkWireQueryRoundTripJSON(b *testing.B) {
+	rs := benchResultSet()
+	var gotQ Query
+	var gotRS ResultSet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqBuf, err := json.Marshal(benchQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := json.Unmarshal(reqBuf, &gotQ); err != nil {
+			b.Fatal(err)
+		}
+		respBuf, err := json.Marshal(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gotRS = ResultSet{}
+		if err := json.Unmarshal(respBuf, &gotRS); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(gotRS.Records) != len(rs.Records) {
+		b.Fatalf("decoded %d records", len(gotRS.Records))
+	}
+}
+
+// TestWireQueryRoundTripAllocs pins the codec's headline contract: a
+// steady-state grid.query round trip on the v3 codec costs at most 2
+// allocs/op (reused buffers, reused decode targets, strings surviving
+// via StringReuse).
+func TestWireQueryRoundTripAllocs(t *testing.T) {
+	rs := benchResultSet()
+	var reqBuf, respBuf []byte
+	var gotQ Query
+	var gotRS ResultSet
+	// Warm the buffers and targets once; the contract is steady-state.
+	var err error
+	if reqBuf, respBuf, err = wireQueryRoundTripV3(reqBuf, respBuf, rs, &gotQ, &gotRS); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var rerr error
+		reqBuf, respBuf, rerr = wireQueryRoundTripV3(reqBuf, respBuf, rs, &gotQ, &gotRS)
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state v3 query round trip: %.1f allocs/op, want <= 2", allocs)
+	}
+}
+
+// benchEvents is one flush's worth of trigger events.
+func benchEvents() []Event {
+	evs := make([]Event, 8)
+	for i := range evs {
+		evs[i] = Event{
+			Seq:  uint64(i + 1),
+			Time: 10.5,
+			Kind: EventTrigger,
+			Records: []Record{{
+				Key:    fmt.Sprintf("lucky%d/load", i),
+				Fields: map[string]string{"load": "9.7", "host": fmt.Sprintf("lucky%d", i)},
+			}},
+		}
+	}
+	return evs
+}
+
+// BenchmarkWireEventFanout64V3: one 8-event flush delivered to 64
+// subscribers over the batched v3 event frame — each subscriber's pump
+// encodes the batch into its reused scratch buffer and each client
+// decodes it. This is the per-flush cost of the subscribe fan-out path.
+func BenchmarkWireEventFanout64V3(b *testing.B) {
+	evs := benchEvents()
+	const subscribers = 64
+	bufs := make([][]byte, subscribers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < subscribers; s++ {
+			body := transport.AppendUvarint(bufs[s][:0], uint64(len(evs)))
+			for j := range evs {
+				body = append(body, wireEntryEvent)
+				body = appendWireEvent(body, &evs[j])
+			}
+			bufs[s] = body
+			delivered := 0
+			if err := decodeWireBatch(body, func(Event) { delivered++ }, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			if delivered != len(evs) {
+				b.Fatalf("delivered %d events", delivered)
+			}
+		}
+	}
+}
+
+// BenchmarkWireEventFanout64JSON: the v2 shape of the same flush — one
+// wireEvent JSON frame per event per subscriber.
+func BenchmarkWireEventFanout64JSON(b *testing.B) {
+	evs := benchEvents()
+	const subscribers = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < subscribers; s++ {
+			delivered := 0
+			for j := range evs {
+				frame, err := json.Marshal(wireEvent{Event: &evs[j]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var we wireEvent
+				if err := json.Unmarshal(frame, &we); err != nil {
+					b.Fatal(err)
+				}
+				if we.Event != nil {
+					delivered++
+				}
+			}
+			if delivered != len(evs) {
+				b.Fatalf("delivered %d events", delivered)
+			}
+		}
+	}
+}
